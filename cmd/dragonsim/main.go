@@ -1,0 +1,114 @@
+// Command dragonsim runs one application on a simulated dragonfly system
+// and prints its runtime, AutoPerf profile, and routing statistics.
+//
+// Usage:
+//
+//	dragonsim [-machine theta-mini|cori-mini|theta|cori] [-app MILC]
+//	          [-nodes 24] [-mode AD0|AD1|AD2|AD3|MIN|VAL]
+//	          [-placement compact|dispersed] [-groups N]
+//	          [-iters 10] [-scale 0.1] [-noise] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/placement"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func main() {
+	machine := flag.String("machine", "theta-mini", "theta-mini, cori-mini, theta, or cori")
+	appName := flag.String("app", "MILC", "application: "+strings.Join(apps.Names(), ", "))
+	nodes := flag.Int("nodes", 24, "job size in nodes")
+	modeStr := flag.String("mode", "AD0", "routing mode: AD0..AD3, MIN, VAL")
+	place := flag.String("placement", "dispersed", "compact or dispersed")
+	groups := flag.Int("groups", 0, "fragmented placement over ~N groups (overrides -placement)")
+	iters := flag.Int("iters", 10, "application iterations")
+	scale := flag.Float64("scale", 0.1, "message size scale (1.0 = paper sizes)")
+	noise := flag.Bool("noise", false, "fill the rest of the machine with production noise")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var cfg topology.Config
+	switch *machine {
+	case "theta-mini":
+		cfg = topology.ThetaMiniConfig()
+	case "cori-mini":
+		cfg = topology.CoriMiniConfig()
+	case "theta":
+		cfg = topology.ThetaConfig()
+	case "cori":
+		cfg = topology.CoriConfig()
+	default:
+		fatal(fmt.Errorf("unknown machine %q", *machine))
+	}
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	app, err := apps.ByName(*appName)
+	if err != nil {
+		fatal(err)
+	}
+	mode, err := parseMode(*modeStr)
+	if err != nil {
+		fatal(err)
+	}
+	policy := placement.Dispersed
+	if *place == "compact" {
+		policy = placement.Compact
+	}
+	spec := core.JobSpec{
+		App:           app,
+		Cfg:           apps.Config{Iterations: *iters, Scale: *scale, Seed: *seed},
+		Nodes:         *nodes,
+		Placement:     policy,
+		ClusterGroups: *groups,
+		Env:           mpi.UniformEnv(mode),
+	}
+	opts := core.RunOpts{Seed: *seed}
+	if *noise {
+		opts.Background = core.DefaultBackground()
+		opts.Warmup = sim.Millisecond
+	}
+	start := time.Now()
+	job, res, err := m.RunOne(spec, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("machine=%s app=%s nodes=%d mode=%s placement=%s groupsSpanned=%d\n",
+		cfg.Name, job.App, *nodes, mode, *place, job.GroupsSpanned)
+	fmt.Printf("runtime=%v (virtual)  wall=%.1fs  events=%d\n",
+		job.Runtime, time.Since(start).Seconds(), res.EventsExecuted)
+	total := job.MinimalPkts + job.NonMinimalPkts
+	if total > 0 {
+		fmt.Printf("job packets: %d (%.1f%% non-minimal)  mean transit=%v\n",
+			total, 100*float64(job.NonMinimalPkts)/float64(total), job.MeanTransit)
+	}
+	fmt.Println()
+	fmt.Print(job.Report.String())
+}
+
+func parseMode(s string) (routing.Mode, error) {
+	switch s {
+	case "MIN":
+		return routing.MinimalOnly, nil
+	case "VAL":
+		return routing.ValiantOnly, nil
+	}
+	return routing.ParseMode(s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dragonsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,41 @@
+// Command jobmix prints the synthetic Theta job-size distribution (the
+// paper's Fig. 1): the CCDF of core-hours over job size for a sampled
+// campaign.
+//
+// Usage:
+//
+//	jobmix [-jobs 20000] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	jobs := flag.Int("jobs", 20000, "number of jobs to sample")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	mix := workload.ThetaMix()
+	rng := rand.New(rand.NewSource(*seed))
+	ccdf := mix.CoreHourCCDF(*jobs, rng)
+	fmt.Printf("%-8s %s\n", "nodes", "share of core-hours at >= nodes")
+	for _, pt := range ccdf {
+		bar := int(pt.Frac * 50)
+		fmt.Printf("%-8.0f %-6.3f %s\n", pt.X, pt.Frac, stars(bar))
+	}
+	fmt.Printf("\n128-512 node share: %.1f%% (paper: ~40%%)\n",
+		100*mix.FractionInRange(128, 512))
+}
+
+func stars(n int) string {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

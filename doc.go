@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Performance
+// Evaluation of Adaptive Routing on Dragonfly-based Production Systems"
+// (Chunduri et al., IPDPS 2021): a packet-level discrete-event simulator
+// of the Cray Aries dragonfly interconnect, the four adaptive routing
+// bias modes (AD0..AD3), an MPI-like runtime, proxies for the paper's
+// five production applications, AutoPerf/LDMS-style telemetry, and a
+// harness that regenerates every table and figure of the evaluation.
+//
+// See README.md for the tour, DESIGN.md for the system inventory and
+// paper-to-module mapping, and EXPERIMENTS.md for measured-vs-paper
+// results. The benchmarks in bench_test.go regenerate each experiment.
+package repro

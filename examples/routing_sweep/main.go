@@ -1,0 +1,73 @@
+// Routing sweep: run one application across every routing policy — the
+// four Aries adaptive presets (AD0..AD3) plus the pure MIN/VAL baselines
+// from the dragonfly literature — and print a comparison table. This is
+// the per-application tuning study the paper recommends facilities run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/placement"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+func main() {
+	appName := flag.String("app", "MILC", "application to sweep")
+	runs := flag.Int("runs", 3, "runs per mode")
+	nodes := flag.Int("nodes", 24, "job size")
+	flag.Parse()
+
+	machine, err := core.NewMachine(topology.ThetaMiniConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := apps.ByName(*appName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	modes := []routing.Mode{
+		routing.MinimalOnly, routing.ValiantOnly,
+		routing.AD0, routing.AD1, routing.AD2, routing.AD3,
+	}
+	fmt.Printf("%-5s %-10s %-10s %-10s %-12s\n", "mode", "mean(s)", "std(s)", "p95(s)", "nonminimal")
+	for _, mode := range modes {
+		var times []float64
+		nonMin, total := uint64(0), uint64(0)
+		for run := 0; run < *runs; run++ {
+			job := core.JobSpec{
+				App:       app,
+				Cfg:       apps.Config{Iterations: 5, Scale: 0.1, Seed: int64(run + 1)},
+				Nodes:     *nodes,
+				Placement: placement.Dispersed,
+				Env:       mpi.UniformEnv(mode),
+			}
+			res, _, err := machine.RunOne(job, core.RunOpts{
+				Seed:       int64(run + 1),
+				Background: core.DefaultBackground(),
+				Warmup:     sim.Millisecond,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			times = append(times, res.Runtime.Seconds())
+			nonMin += res.NonMinimalPkts
+			total += res.MinimalPkts + res.NonMinimalPkts
+		}
+		mean, std := stats.MeanStd(times)
+		frac := 0.0
+		if total > 0 {
+			frac = 100 * float64(nonMin) / float64(total)
+		}
+		fmt.Printf("%-5s %-10.4f %-10.4f %-10.4f %10.1f%%\n",
+			mode, mean, std, stats.Percentile(times, 95), frac)
+	}
+}

@@ -1,0 +1,163 @@
+// Package apps contains proxy applications reproducing the communication
+// behaviour of the five production codes the paper studies (Table I), plus
+// synthetic background-noise generators used to emulate the production
+// workload mix. Each proxy generates the pattern, message sizes, and
+// dominant MPI calls the paper characterizes for its code; compute phases
+// are virtual-time sleeps tuned so the isolated %MPI lands near the
+// paper's measurement.
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// Config parameterizes one application run.
+type Config struct {
+	// Iterations is the outer timestep count.
+	Iterations int
+	// Scale multiplies all message sizes (1.0 = the sizes in the paper's
+	// Table I). Experiments use < 1 to keep packet counts tractable;
+	// relative behaviour between routing modes is preserved.
+	Scale float64
+	// Seed drives any randomized pattern choices (deterministic per run).
+	Seed int64
+}
+
+// DefaultConfig returns full-size (paper-scale) settings.
+func DefaultConfig() Config {
+	return Config{Iterations: 10, Scale: 1.0, Seed: 1}
+}
+
+// scaled applies the scale factor with a 1-byte floor.
+func (c Config) scaled(bytes int) int {
+	v := int(float64(bytes) * c.Scale)
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// App is one runnable proxy application.
+type App interface {
+	// Name returns the paper's name for the code, e.g. "MILC".
+	Name() string
+	// Main returns the per-rank body for one run.
+	Main(cfg Config) func(r *mpi.Rank)
+}
+
+// ByName returns the registered app with that name.
+func ByName(name string) (App, error) {
+	for _, a := range All() {
+		if a.Name() == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("apps: unknown application %q", name)
+}
+
+// All returns the five studied applications plus MILCREORDER, in the
+// paper's Table I order.
+func All() []App {
+	return []App{
+		MILC{}, MILC{Reorder: true}, Nek5000{}, HACC{}, Qbox{}, Rayleigh{},
+	}
+}
+
+// Names lists all registered app names.
+func Names() []string {
+	apps := All()
+	out := make([]string, len(apps))
+	for i, a := range apps {
+		out[i] = a.Name()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// rankRNG builds the deterministic per-rank random stream.
+func rankRNG(cfg Config, rank int) *rand.Rand {
+	return rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(rank)))
+}
+
+// factorize4 splits n into four balanced torus dimensions whose product
+// is n (used by MILC's 4D grid).
+func factorize4(n int) [4]int {
+	dims := [4]int{1, 1, 1, 1}
+	// Peel prime factors largest-first onto the currently smallest dim.
+	rem := n
+	for f := 2; f*f <= rem; {
+		if rem%f == 0 {
+			smallest := 0
+			for i := 1; i < 4; i++ {
+				if dims[i] < dims[smallest] {
+					smallest = i
+				}
+			}
+			dims[smallest] *= f
+			rem /= f
+		} else {
+			f++
+		}
+	}
+	if rem > 1 {
+		smallest := 0
+		for i := 1; i < 4; i++ {
+			if dims[i] < dims[smallest] {
+				smallest = i
+			}
+		}
+		dims[smallest] *= rem
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(dims[:])))
+	return dims
+}
+
+// torusCoords converts a rank to 4D coordinates.
+func torusCoords(rank int, dims [4]int) [4]int {
+	var c [4]int
+	for i := 3; i >= 0; i-- {
+		c[i] = rank % dims[i]
+		rank /= dims[i]
+	}
+	return c
+}
+
+// torusRank converts 4D coordinates back to a rank.
+func torusRank(c [4]int, dims [4]int) int {
+	r := 0
+	for i := 0; i < 4; i++ {
+		r = r*dims[i] + c[i]
+	}
+	return r
+}
+
+// torusNeighbors returns the 8 face neighbors (±1 in each dimension, with
+// wraparound). Dimensions of extent 1 contribute the rank itself, which
+// callers skip.
+func torusNeighbors(rank int, dims [4]int) []int {
+	c := torusCoords(rank, dims)
+	out := make([]int, 0, 8)
+	for d := 0; d < 4; d++ {
+		for _, dir := range [2]int{+1, -1} {
+			nc := c
+			nc[d] = (c[d] + dir + dims[d]) % dims[d]
+			nb := torusRank(nc, dims)
+			if nb != rank {
+				out = append(out, nb)
+			}
+		}
+	}
+	return out
+}
+
+// computeSleep is a convenience wrapper for a compute phase.
+func computeSleep(r *mpi.Rank, d sim.Time) {
+	if d > 0 {
+		r.Compute(d)
+	}
+}

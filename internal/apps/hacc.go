@@ -1,0 +1,95 @@
+package apps
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// HACC reproduces the paper's characterization of the HACC cosmology code
+// (Table I and Section IV-C): the dominant 3D-FFT transposes move large
+// (~1.2MB) messages between essentially random rank pairs, stressing
+// global bisection bandwidth, plus a light nearest-neighbour particle
+// exchange and a light 1KB allreduce. ~22% MPI; dominant calls Wait,
+// Waitall, Allreduce.
+//
+// This is the one application the paper finds prefers AD0: its
+// bisection-bound transposes want path diversity, and strong minimal bias
+// concentrates the load on a few rank-3 links (Fig. 12).
+type HACC struct{}
+
+// Name returns "HACC".
+func (HACC) Name() string { return "HACC" }
+
+// Main returns the per-rank body.
+func (HACC) Main(cfg Config) func(r *mpi.Rank) {
+	// Node-level aggregates (64 ranks per node on Theta).
+	const (
+		fftBytes      = 2400 * 1024 // pencil exchange (1.2MB per rank pair)
+		fftRounds     = 2           // transposes per step
+		particleBytes = 128 * 1024
+		reduceBytes   = 1024
+		computePerIt  = 4 * sim.Millisecond
+	)
+	return func(r *mpi.Rank) {
+		n := r.Size()
+		fft := cfg.scaled(fftBytes)
+		part := cfg.scaled(particleBytes)
+		for it := 0; it < cfg.Iterations; it++ {
+			// 3D FFT transposes: bit-reversal-flavored pairings give
+			// "random" partners far away in rank (and thus node) space,
+			// the global-bisection stress the paper describes.
+			for round := 0; round < fftRounds; round++ {
+				partner := fftPartner(r.ID(), n, it*fftRounds+round)
+				if partner != r.ID() {
+					tag := 3000 + it*16 + round
+					rq := r.Irecv(partner, tag, fft)
+					sq := r.Isend(partner, tag, fft)
+					r.Wait(sq)
+					r.Wait(rq)
+				}
+			}
+			computeSleep(r, computePerIt/2)
+			// Particle overload exchange with 6 ring-ish neighbors.
+			tag := 3800 + it
+			reqs := make([]*mpi.Request, 0, 12)
+			for _, d := range [3]int{1, 2, 3} {
+				up, down := (r.ID()+d)%n, (r.ID()-d+n)%n
+				if up == r.ID() {
+					continue
+				}
+				reqs = append(reqs,
+					r.Irecv(up, tag, part), r.Irecv(down, tag, part),
+					r.Isend(up, tag, part), r.Isend(down, tag, part))
+			}
+			r.Waitall(reqs...)
+			// Global diagnostics.
+			r.Allreduce(reduceBytes)
+			computeSleep(r, computePerIt/2)
+		}
+	}
+}
+
+// fftPartner pairs ranks by XOR with a round-dependent mask (an
+// involution, so both sides agree), emulating FFT transpose exchange
+// patterns. Falls back to a reversal pairing for non-power-of-two sizes.
+func fftPartner(rank, n, round int) int {
+	if n <= 1 {
+		return rank
+	}
+	if n&(n-1) == 0 {
+		// Mask cycles over the high bits: partners land far away.
+		bits := 0
+		for 1<<bits < n {
+			bits++
+		}
+		mask := (n - 1) ^ ((1 << (round % bits)) - 1)
+		if mask == 0 {
+			mask = n - 1
+		}
+		return rank ^ mask
+	}
+	// Reversal pairing around a rotating pivot: i <-> (pivot-i) mod n is
+	// an involution for any pivot.
+	pivot := (round*2654435761 + 12345) % n
+	return ((pivot-rank)%n + n) % n
+}

@@ -1,0 +1,56 @@
+package apps
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// Qbox reproduces the paper's characterization of the Qbox first-principles
+// molecular dynamics code (Table I): medium 50KB point-to-point, medium
+// 128KB collectives dominated by MPI_Alltoallv, 66% of runtime in MPI.
+// Dominant calls: Alltoallv, Recv, Wait.
+type Qbox struct{}
+
+// Name returns "Qbox".
+func (Qbox) Name() string { return "Qbox" }
+
+// Main returns the per-rank body.
+func (Qbox) Main(cfg Config) func(r *mpi.Rank) {
+	// Node-level aggregates (64 ranks per node on Theta).
+	const (
+		collectiveBytes = 1024 * 1024 // total alltoallv payload per call
+		p2pBytes        = 200 * 1024  // wavefunction column shifts
+		computePerIt    = 150 * sim.Microsecond
+	)
+	return func(r *mpi.Rank) {
+		n := r.Size()
+		total := cfg.scaled(collectiveBytes)
+		perPair := total / n
+		if perPair < 1 {
+			perPair = 1
+		}
+		counts := make([]int, n)
+		for d := range counts {
+			counts[d] = perPair
+		}
+		p2p := cfg.scaled(p2pBytes)
+		right := (r.ID() + 1) % n
+		left := (r.ID() - 1 + n) % n
+		for it := 0; it < cfg.Iterations; it++ {
+			// Plane-wave transposes: latency-heavy alltoallv (small
+			// per-pair payloads, many rounds).
+			r.Alltoallv(counts)
+			r.Alltoallv(counts)
+			computeSleep(r, computePerIt/2)
+			// Column rotation: nonblocking send right, blocking recv
+			// from the left (the Recv/Wait presence in Table I).
+			if n > 1 {
+				tag := 4000 + it
+				sq := r.Isend(right, tag, p2p)
+				r.Recv(left, tag, p2p)
+				r.Wait(sq)
+			}
+			computeSleep(r, computePerIt/2)
+		}
+	}
+}

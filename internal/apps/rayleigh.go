@@ -1,0 +1,56 @@
+package apps
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// Rayleigh reproduces the paper's characterization of the Rayleigh
+// pseudo-spectral convection code (Table I): no standing point-to-point
+// pattern, heavy ~23MB MPI_Alltoallv transposes, ~28% MPI. Dominant
+// calls: Alltoallv, Send, Barrier.
+type Rayleigh struct{}
+
+// Name returns "Rayleigh".
+func (Rayleigh) Name() string { return "Rayleigh" }
+
+// Main returns the per-rank body.
+func (Rayleigh) Main(cfg Config) func(r *mpi.Rank) {
+	const (
+		transposeBytes = 23 * 1024 * 1024 // total alltoallv payload per call
+		remainderBytes = 64 * 1024        // manual transpose remainder rows
+		computePerIt   = 18 * sim.Millisecond
+	)
+	return func(r *mpi.Rank) {
+		n := r.Size()
+		total := cfg.scaled(transposeBytes)
+		perPair := total / n
+		if perPair < 1 {
+			perPair = 1
+		}
+		counts := make([]int, n)
+		for d := range counts {
+			counts[d] = perPair
+		}
+		remainder := cfg.scaled(remainderBytes)
+		for it := 0; it < cfg.Iterations; it++ {
+			// Spherical-harmonic transpose: the bandwidth-heavy global
+			// alltoallv.
+			r.Alltoallv(counts)
+			computeSleep(r, computePerIt/2)
+			// Remainder-row redistribution: a short phase of blocking
+			// sends to the transpose successor (Table I's MPI_Send).
+			if n > 1 {
+				tag := 5000 + it
+				dst := (r.ID() + 1) % n
+				src := (r.ID() - 1 + n) % n
+				rq := r.Irecv(src, tag, remainder)
+				r.Send(dst, tag, remainder)
+				r.Wait(rq)
+			}
+			// Step synchronization.
+			r.Barrier()
+			computeSleep(r, computePerIt/2)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package autoperf reproduces the AutoPerf instrumentation the paper uses:
+// a lightweight PMPI-style profiler that reports, per application run, the
+// number of calls / bytes / wallclock per MPI interface, plus the Aries
+// router-tile counters of the routers the application's nodes are directly
+// connected to (the "local view" described in Section III-B).
+package autoperf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/mpi"
+	"repro/internal/network"
+	"repro/internal/placement"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Collector snapshots counters at attach time; Finish produces a Report
+// with the deltas, mirroring AutoPerf's begin/end capture around a run.
+type Collector struct {
+	fab     *network.Fabric
+	routers []topology.RouterID
+	start   *network.Counters
+	startAt sim.Time
+}
+
+// Attach starts collection for an application occupying nodes.
+func Attach(fab *network.Fabric, nodes []topology.NodeID) *Collector {
+	return &Collector{
+		fab:     fab,
+		routers: placement.RoutersOf(fab.Topology(), nodes),
+		start:   fab.Counters().Snapshot(),
+		startAt: fab.Kernel().Now(),
+	}
+}
+
+// Report is one application's AutoPerf output.
+type Report struct {
+	App     string
+	Ranks   int
+	Runtime sim.Time
+
+	// Profile aggregates MPI usage across all ranks.
+	Profile *mpi.Profile
+
+	// LocalTiles aggregates the tile counters of the routers the
+	// application is directly connected to, over the run window.
+	LocalTiles network.ClassTotals
+
+	// LocalTileRatios gives per-tile stalls-to-flits samples by class
+	// over the same routers (the paper's Fig. 6 boxes).
+	LocalTileRatios map[topology.TileClass][]float64
+}
+
+// Finish captures the end snapshot and builds the report. The world must
+// have completed.
+func (c *Collector) Finish(app string, w *mpi.World) *Report {
+	delta := c.fab.Counters().Sub(c.start)
+	r := &Report{
+		App:             app,
+		Ranks:           w.Size(),
+		Runtime:         c.fab.Kernel().Now() - c.startAt,
+		Profile:         w.AggregateProfile(),
+		LocalTiles:      delta.Aggregate(c.routers),
+		LocalTileRatios: make(map[topology.TileClass][]float64),
+	}
+	for class := topology.TileClass(0); class < topology.NumTileClasses; class++ {
+		r.LocalTileRatios[class] = localTileRatios(delta, c.routers, class)
+	}
+	return r
+}
+
+// localTileRatios computes per-tile stalls-to-flits over a router subset.
+func localTileRatios(c *network.Counters, routers []topology.RouterID, class topology.TileClass) []float64 {
+	topo := c.Topo()
+	var out []float64
+	for _, r := range routers {
+		for t := 0; t < topo.TilesPerRouter(); t++ {
+			if topo.TileClassOf(t) != class {
+				continue
+			}
+			if f := c.Flits[r][t]; f > 0 {
+				out = append(out, c.Stalls[r][t]/float64(f))
+			}
+		}
+	}
+	return out
+}
+
+// MPIFraction returns the share of total runtime spent in MPI, summed over
+// ranks (the paper's "% of MPI in total time" column).
+func (r *Report) MPIFraction() float64 {
+	total := r.Profile.TotalTime()
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Profile.MPITime()) / float64(total)
+}
+
+// String renders the report in AutoPerf's tabular spirit.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "AutoPerf report: %s ranks=%d runtime=%v mpi=%.0f%%\n",
+		r.App, r.Ranks, r.Runtime, 100*r.MPIFraction())
+	names := make([]string, 0, len(r.Profile.ByCall))
+	for name := range r.Profile.ByCall {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return r.Profile.ByCall[names[i]].Time > r.Profile.ByCall[names[j]].Time
+	})
+	for _, name := range names {
+		s := r.Profile.ByCall[name]
+		fmt.Fprintf(&b, "  %-16s calls=%-8d avgBytes=%-10.0f time=%v\n",
+			name, s.Calls, s.AvgBytes(), s.Time)
+	}
+	for class := topology.TileClass(0); class < topology.NumTileClasses; class++ {
+		fmt.Fprintf(&b, "  tiles[%-8s] flits=%-12d stalls=%-14.0f ratio=%.3f\n",
+			class, r.LocalTiles.Flits[class], r.LocalTiles.Stalls[class],
+			r.LocalTiles.Ratio(class))
+	}
+	return b.String()
+}

@@ -1,0 +1,308 @@
+// Package core is the public façade of the reproduction: it assembles the
+// topology, fabric, MPI runtime, applications, placement, background
+// noise, and telemetry into single-call experiment runs.
+//
+// A Machine is an immutable description of one system (Theta, Cori, or a
+// test instance). Each Run builds a fresh kernel and fabric, so runs are
+// independent and fully deterministic in their seed.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/autoperf"
+	"repro/internal/ldms"
+	"repro/internal/mpi"
+	"repro/internal/network"
+	"repro/internal/placement"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Machine describes one system configuration. Construct with NewMachine,
+// then adjust the public fields before the first Run if needed.
+type Machine struct {
+	Topo  *topology.Topology
+	Net   network.Params
+	Route routing.Config
+}
+
+// NewMachine builds the topology for cfg with default fabric parameters.
+func NewMachine(cfg topology.Config) (*Machine, error) {
+	topo, err := topology.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{
+		Topo:  topo,
+		Net:   network.DefaultParams(),
+		Route: routing.DefaultConfig(),
+	}, nil
+}
+
+// Theta returns the ALCF Theta machine.
+func Theta() (*Machine, error) { return NewMachine(topology.ThetaConfig()) }
+
+// Cori returns the NERSC Cori machine.
+func Cori() (*Machine, error) { return NewMachine(topology.CoriConfig()) }
+
+// JobSpec describes one instrumented application job.
+type JobSpec struct {
+	App       apps.App
+	Cfg       apps.Config
+	Nodes     int
+	Placement placement.Policy
+	// ClusterGroups, when positive, overrides Placement with a
+	// fragmented allocation drawn from about that many dragonfly groups
+	// (production schedulers land jobs anywhere between 1 group and the
+	// whole machine — the x-axis of the paper's Figs. 3-4).
+	ClusterGroups int
+	// Env carries the job's routing modes (the per-application setting
+	// the paper's production experiments vary).
+	Env mpi.Env
+}
+
+// BackgroundSpec describes the synthetic production noise filling the rest
+// of the machine during a run.
+type BackgroundSpec struct {
+	// TargetUtilization is the fraction of the machine's remaining
+	// nodes kept busy with noise jobs.
+	TargetUtilization float64
+	// Mix drives background job sizes and durations; zero value means
+	// workload.ThetaMix.
+	Mix workload.Mix
+	// Classes drives background traffic intensity; nil means
+	// workload.DefaultTrafficClasses.
+	Classes []workload.TrafficClass
+	// Env is the routing configuration background jobs use — AD0 in the
+	// paper's "before" era, AD3 after the facilities changed defaults.
+	Env mpi.Env
+}
+
+// DefaultBackground matches the production conditions of the paper's
+// Section IV experiments: a busy machine running with the system-default
+// routing.
+func DefaultBackground() *BackgroundSpec {
+	return &BackgroundSpec{
+		TargetUtilization: 0.75,
+		Mix:               workload.ThetaMix(),
+		Classes:           workload.DefaultTrafficClasses(),
+		Env:               mpi.DefaultEnv(),
+	}
+}
+
+// RunOpts configures one Run.
+type RunOpts struct {
+	Seed int64
+	// Background fills the rest of the machine with noise jobs; nil
+	// runs the instrumented jobs in isolation.
+	Background *BackgroundSpec
+	// Warmup delays the instrumented jobs so background noise is
+	// established first.
+	Warmup sim.Time
+	// LDMS enables global periodic counter sampling.
+	LDMS *ldms.Options
+}
+
+// JobResult is the outcome of one instrumented job.
+type JobResult struct {
+	App           string
+	Env           mpi.Env
+	Nodes         []topology.NodeID
+	GroupsSpanned int
+	Runtime       sim.Time
+	Report        *autoperf.Report
+	// MinimalPkts / NonMinimalPkts count this job's own adaptive routing
+	// decisions.
+	MinimalPkts    uint64
+	NonMinimalPkts uint64
+	// MeanTransit is the mean network transit of the job's own packets.
+	MeanTransit sim.Time
+}
+
+// RunResult is the outcome of one Run.
+type RunResult struct {
+	Jobs []JobResult
+	// Global is the whole-system counter delta over the run.
+	Global network.ClassTotals
+	// GlobalCounters is the full per-tile counter delta.
+	GlobalCounters *network.Counters
+	// LDMS holds the sampler (nil unless requested).
+	LDMS *ldms.Daemon
+	// Fabric-level stats.
+	PacketsSent, PacketsDelivered uint64
+	MinimalTaken, NonMinimalTaken uint64
+	EventsExecuted                uint64
+	// Mean network transit by route class, diagnostics for the routing
+	// mechanism (microseconds; counts in thousands).
+	MinTransitUS, NonMinTransitUS float64
+	MinCountK, NonMinCountK       uint64
+}
+
+// Run executes the instrumented jobs (simultaneously) with optional
+// background noise, on a fresh fabric. It blocks until the virtual
+// machine fully drains and returns per-job results plus global telemetry.
+func (m *Machine) Run(specs []JobSpec, opts RunOpts) (*RunResult, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("core: no jobs to run")
+	}
+	k := sim.NewKernel()
+	fab := network.New(k, m.Topo, m.Net, m.Route, opts.Seed)
+	alloc := placement.NewAllocator(m.Topo)
+	rng := newRNG(opts.Seed)
+
+	// Allocate instrumented jobs first so they get their requested
+	// placement even on a crowded machine.
+	type liveJob struct {
+		spec  JobSpec
+		nodes []topology.NodeID
+		world *mpi.World
+		coll  *autoperf.Collector
+	}
+	jobs := make([]*liveJob, len(specs))
+	for i, spec := range specs {
+		if spec.Nodes <= 0 {
+			return nil, fmt.Errorf("core: job %d has %d nodes", i, spec.Nodes)
+		}
+		var nodes []topology.NodeID
+		var err error
+		if spec.ClusterGroups > 0 {
+			nodes, err = alloc.AllocClustered(spec.Nodes, spec.ClusterGroups, rng)
+		} else {
+			nodes, err = alloc.Alloc(spec.Nodes, spec.Placement, rng)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: job %d: %w", i, err)
+		}
+		jobs[i] = &liveJob{spec: spec, nodes: nodes}
+	}
+
+	var daemon *ldms.Daemon
+	if opts.LDMS != nil {
+		daemon = ldms.Start(fab, *opts.LDMS)
+	}
+
+	cancelNoise := sim.NewSignal()
+	if opts.Background != nil {
+		startBackground(fab, alloc, *opts.Background, cancelNoise, opts.Seed)
+	}
+
+	// Start the instrumented jobs after warmup.
+	k.At(opts.Warmup, func() {
+		for _, j := range jobs {
+			j := j
+			j.coll = autoperf.Attach(fab, j.nodes)
+			baseCfg := j.spec.Cfg
+			if baseCfg.Seed == 0 {
+				baseCfg.Seed = opts.Seed
+			}
+			j.world = mpi.NewWorld(fab, j.nodes, j.spec.Env)
+			j.world.Run(j.spec.App.Main(baseCfg))
+		}
+		// Watcher: when every instrumented job completes, stop the
+		// noise and the sampler so the kernel can drain.
+		k.Spawn(func(p *sim.Proc) {
+			for _, j := range jobs {
+				p.Wait(j.world.Done)
+			}
+			cancelNoise.Fire(k)
+			if daemon != nil {
+				daemon.Stop()
+			}
+		})
+	})
+
+	before := fab.Counters().Snapshot()
+	k.Run()
+
+	res := &RunResult{
+		GlobalCounters:   fab.Counters().Sub(before),
+		LDMS:             daemon,
+		PacketsSent:      fab.PacketsSent,
+		PacketsDelivered: fab.PacketsDelivered,
+		MinimalTaken:     fab.MinimalTaken,
+		NonMinimalTaken:  fab.NonMinimalTaken,
+		EventsExecuted:   k.Stats().EventsExecuted,
+	}
+	if fab.MinimalCount > 0 {
+		res.MinTransitUS = (fab.MinimalTransit / sim.Time(fab.MinimalCount)).Seconds() * 1e6
+		res.MinCountK = fab.MinimalCount / 1000
+	}
+	if fab.NonMinimalCount > 0 {
+		res.NonMinTransitUS = (fab.NonMinimalTransit / sim.Time(fab.NonMinimalCount)).Seconds() * 1e6
+		res.NonMinCountK = fab.NonMinimalCount / 1000
+	}
+	res.Global = res.GlobalCounters.Aggregate(nil)
+	for _, j := range jobs {
+		if !j.world.Done.Fired() {
+			return nil, fmt.Errorf("core: job %s did not complete", j.spec.App.Name())
+		}
+		res.Jobs = append(res.Jobs, JobResult{
+			App:            j.spec.App.Name(),
+			Env:            j.spec.Env,
+			Nodes:          j.nodes,
+			GroupsSpanned:  placement.GroupsSpanned(m.Topo, j.nodes),
+			Runtime:        j.world.Runtime(),
+			Report:         j.coll.Finish(j.spec.App.Name(), j.world),
+			MinimalPkts:    j.world.MinimalPkts,
+			NonMinimalPkts: j.world.NonMinimalPkts,
+			MeanTransit:    meanTransit(j.world),
+		})
+	}
+	return res, nil
+}
+
+// meanTransit averages a world's per-packet network transit.
+func meanTransit(w *mpi.World) sim.Time {
+	n := w.MinimalPkts + w.NonMinimalPkts
+	if n == 0 {
+		return 0
+	}
+	return w.TransitSum / sim.Time(n)
+}
+
+// RunOne is the single-job convenience wrapper.
+func (m *Machine) RunOne(spec JobSpec, opts RunOpts) (*JobResult, *RunResult, error) {
+	res, err := m.Run([]JobSpec{spec}, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &res.Jobs[0], res, nil
+}
+
+// CampaignResult is the outcome of a background-only production campaign.
+type CampaignResult struct {
+	LDMS     *ldms.Daemon
+	Global   network.ClassTotals
+	Duration sim.Time
+}
+
+// RunCampaign emulates a production window: background jobs only, sampled
+// by LDMS for `duration` of virtual time. Used for the paper's
+// before/after default-routing comparison (Figs. 13-14).
+func (m *Machine) RunCampaign(duration sim.Time, bg BackgroundSpec, ldmsOpts ldms.Options, seed int64) (*CampaignResult, error) {
+	if duration <= 0 {
+		return nil, fmt.Errorf("core: campaign duration must be positive")
+	}
+	k := sim.NewKernel()
+	fab := network.New(k, m.Topo, m.Net, m.Route, seed)
+	alloc := placement.NewAllocator(m.Topo)
+
+	daemon := ldms.Start(fab, ldmsOpts)
+	cancel := sim.NewSignal()
+	startBackground(fab, alloc, bg, cancel, seed)
+	k.At(duration, func() {
+		cancel.Fire(k)
+		daemon.Stop()
+	})
+	before := fab.Counters().Snapshot()
+	k.Run()
+	return &CampaignResult{
+		LDMS:     daemon,
+		Global:   fab.Counters().Sub(before).Aggregate(nil),
+		Duration: duration,
+	}, nil
+}

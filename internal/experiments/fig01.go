@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Fig1Result reproduces the paper's Fig. 1: the complementary cumulative
+// distribution of Theta core-hours over job size (number of nodes).
+type Fig1Result struct {
+	CCDF []stats.CCDFPoint
+	// Frac128to512 is the share of core-hours from 128-512 node jobs;
+	// the paper reports ~40%.
+	Frac128to512 float64
+	Jobs         int
+}
+
+// Fig1JobSizes synthesizes a campaign from the Theta job mix and computes
+// the Fig. 1 CCDF.
+func Fig1JobSizes(p Profile, seed int64) *Fig1Result {
+	mix := workload.ThetaMix()
+	nJobs := 2000 * (p.Runs + 1)
+	rng := rand.New(rand.NewSource(seed))
+	ccdf := mix.CoreHourCCDF(nJobs, rng)
+
+	// Empirical core-hour share of the 128-512 band from the same draw.
+	rng = rand.New(rand.NewSource(seed))
+	in, total := 0.0, 0.0
+	for i := 0; i < nJobs; i++ {
+		nodes, dur := mix.SampleJob(rng)
+		ch := float64(nodes) * dur.Seconds()
+		total += ch
+		if nodes >= 128 && nodes <= 512 {
+			in += ch
+		}
+	}
+	return &Fig1Result{CCDF: ccdf, Frac128to512: in / total, Jobs: nJobs}
+}
+
+// Render prints the CCDF series (the paper's Fig. 1 curve).
+func (r *Fig1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 1 — Theta job size distribution (CCDF of core-hours), %d jobs\n", r.Jobs)
+	fmt.Fprintf(&b, "%-8s %-10s\n", "nodes", "corehours>=")
+	for _, pt := range r.CCDF {
+		fmt.Fprintf(&b, "%-8.0f %-10.3f\n", pt.X, pt.Frac)
+	}
+	fmt.Fprintf(&b, "128-512 node share of core-hours: %.1f%% (paper: ~40%%)\n",
+		100*r.Frac128to512)
+	return b.String()
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/routing"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Fig6Result reproduces the paper's Fig. 6: the stalls-to-flits ratio on
+// the application's local router tiles, broken down by tile class
+// (Rank3/Rank2/Rank1/Proc_req/Proc_rsp), under AD0 vs AD3.
+type Fig6Result struct {
+	App   string
+	Nodes int
+	// Ratios[mode][class] is the distribution of per-tile ratios pooled
+	// over all runs of that mode.
+	Ratios map[routing.Mode]map[topology.TileClass][]float64
+}
+
+// Fig6MILCTileRatios runs the MILC production campaign and collects the
+// per-class tile counter ratios from the AutoPerf reports.
+func Fig6MILCTileRatios(p Profile, seed int64) (*Fig6Result, error) {
+	m, err := p.thetaMachine()
+	if err != nil {
+		return nil, err
+	}
+	samples, err := productionSamples(m, p, milcApp(), p.NodesMedium,
+		[]routing.Mode{routing.AD0, routing.AD3}, seed)
+	if err != nil {
+		return nil, err
+	}
+	return fig6FromSamples("MILC", p.NodesMedium, samples), nil
+}
+
+func fig6FromSamples(app string, nodes int, samples []Sample) *Fig6Result {
+	res := &Fig6Result{
+		App: app, Nodes: nodes,
+		Ratios: map[routing.Mode]map[topology.TileClass][]float64{},
+	}
+	for _, s := range samples {
+		if s.App != app {
+			continue
+		}
+		if res.Ratios[s.Mode] == nil {
+			res.Ratios[s.Mode] = map[topology.TileClass][]float64{}
+		}
+		for class, ratios := range s.Report.LocalTileRatios {
+			res.Ratios[s.Mode][class] = append(res.Ratios[s.Mode][class], ratios...)
+		}
+	}
+	return res
+}
+
+// MeanRatio returns the mean ratio for (mode, class).
+func (r *Fig6Result) MeanRatio(mode routing.Mode, class topology.TileClass) float64 {
+	return stats.Mean(r.Ratios[mode][class])
+}
+
+// Render prints the per-class ratio summary in the paper's order.
+func (r *Fig6Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 6 — %s stalls-to-flits ratio by tile class (%d nodes)\n", r.App, r.Nodes)
+	order := []topology.TileClass{
+		topology.TileRank3, topology.TileRank2, topology.TileRank1,
+		topology.TileProcReq, topology.TileProcRsp,
+	}
+	fmt.Fprintf(&b, "%-10s %-22s %-22s\n", "tile", "AD0 mean/p95", "AD3 mean/p95")
+	for _, class := range order {
+		a0 := r.Ratios[routing.AD0][class]
+		a3 := r.Ratios[routing.AD3][class]
+		fmt.Fprintf(&b, "%-10s %-8.3f/%-13.3f %-8.3f/%-13.3f\n", class,
+			stats.Mean(a0), stats.Percentile(a0, 95),
+			stats.Mean(a3), stats.Percentile(a3, 95))
+	}
+	return b.String()
+}
+
+// Fig6FromSamples derives the Fig. 6 tile ratios from existing samples.
+func Fig6FromSamples(nodes int, samples []Sample) *Fig6Result {
+	return fig6FromSamples("MILC", nodes, samples)
+}

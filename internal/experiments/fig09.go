@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/placement"
+	"repro/internal/routing"
+	"repro/internal/stats"
+)
+
+// Fig9Result reproduces the paper's Fig. 9: controlled (reservation)
+// experiments where every job on the machine runs the SAME app with the
+// SAME routing mode, swept over all four adaptive modes. Runtimes are
+// Z-scored per application over the pooled mode samples.
+type Fig9Result struct {
+	Nodes int
+	// Z[mode] pools the normalized runtimes of all apps and jobs.
+	Z map[routing.Mode][]float64
+	// Mean[mode] is the mean normalized runtime.
+	Mean map[routing.Mode]float64
+	// Spread[mode] is max-min of the normalized runtimes.
+	Spread map[routing.Mode]float64
+}
+
+// Fig9ControlledAllModes runs the ensembles: for each app and each mode,
+// `EnsembleMedium` simultaneous jobs, half compact, half dispersed.
+func Fig9ControlledAllModes(p Profile, seed int64) (*Fig9Result, error) {
+	m, err := p.thetaMachine()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig9Result{
+		Nodes:  p.NodesMedium,
+		Z:      map[routing.Mode][]float64{},
+		Mean:   map[routing.Mode]float64{},
+		Spread: map[routing.Mode]float64{},
+	}
+	modes := []routing.Mode{routing.AD0, routing.AD1, routing.AD2, routing.AD3}
+	// Per app: run each mode's ensemble, collect raw runtimes, z-score
+	// per app over all modes pooled.
+	for _, a := range []apps.App{apps.MILC{}, apps.Nek5000{}, apps.Qbox{}} {
+		perMode := map[routing.Mode][]float64{}
+		var pool []float64
+		for mi, mode := range modes {
+			for _, policy := range []placement.Policy{placement.Compact, placement.Dispersed} {
+				count := p.EnsembleMedium / 2
+				if count < 1 {
+					count = 1
+				}
+				run, err := ensembleRun(m, p, a, count, p.NodesMedium, mode, policy,
+					seed+int64(mi)*101, nil)
+				if err != nil {
+					return nil, err
+				}
+				for _, j := range run.Jobs {
+					v := j.Runtime.Seconds()
+					perMode[mode] = append(perMode[mode], v)
+					pool = append(pool, v)
+				}
+			}
+		}
+		mean, std := stats.MeanStd(pool)
+		for mode, vs := range perMode {
+			res.Z[mode] = append(res.Z[mode], stats.ZScoresAgainst(vs, mean, std)...)
+		}
+	}
+	for mode, zs := range res.Z {
+		res.Mean[mode] = stats.Mean(zs)
+		lo, hi := stats.MinMax(zs)
+		res.Spread[mode] = hi - lo
+	}
+	return res, nil
+}
+
+// Render prints the per-mode normalized summary (the paper's box plot).
+func (r *Fig9Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 9 — controlled ensembles, all apps, %d nodes, modes AD0..AD3\n", r.Nodes)
+	fmt.Fprintf(&b, "%-6s %-6s %-9s %-9s %-9s\n", "mode", "n", "mean(z)", "sd(z)", "range(z)")
+	for _, mode := range []routing.Mode{routing.AD0, routing.AD1, routing.AD2, routing.AD3} {
+		zs := r.Z[mode]
+		fmt.Fprintf(&b, "%-6s %-6d %-+9.3f %-9.3f %-9.2f\n",
+			mode, len(zs), r.Mean[mode], stats.StdDev(zs), r.Spread[mode])
+	}
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/placement"
+	"repro/internal/routing"
+	"repro/internal/stats"
+)
+
+// Regime labels for Fig. 11.
+const (
+	RegimeProduction         = "production"
+	RegimeIsolated           = "isolated"
+	RegimeControlledCompact  = "controlled-compact"
+	RegimeControlledDisperse = "controlled-disperse"
+)
+
+// Fig11Result reproduces the paper's Fig. 11: the distribution (PDF) of
+// stalls-to-flits ratios on the job's local network tiles for MILC at the
+// medium size, compared across production, isolated, and controlled
+// (compact / disperse ensemble) regimes, for AD0 and AD3.
+type Fig11Result struct {
+	Nodes int
+	// Ratios[mode][regime] pools per-tile network-tile ratios.
+	Ratios map[routing.Mode]map[string][]float64
+}
+
+// Fig11RegimeComparison runs all three regimes for both modes.
+func Fig11RegimeComparison(p Profile, seed int64) (*Fig11Result, error) {
+	m, err := p.thetaMachine()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig11Result{Nodes: p.NodesMedium, Ratios: map[routing.Mode]map[string][]float64{}}
+	for _, mode := range []routing.Mode{routing.AD0, routing.AD3} {
+		res.Ratios[mode] = map[string][]float64{}
+
+		// Production: noisy machine.
+		prod, err := productionSamples(m, p, milcApp(), p.NodesMedium,
+			[]routing.Mode{mode}, seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range prod {
+			res.Ratios[mode][RegimeProduction] = append(res.Ratios[mode][RegimeProduction],
+				networkTileRatios(s)...)
+		}
+
+		// Isolated: one job alone.
+		for i := 0; i < p.Runs; i++ {
+			s, err := isolatedSample(m, p, milcApp(), p.NodesMedium, mode,
+				placement.Dispersed, seed+int64(i))
+			if err != nil {
+				return nil, err
+			}
+			res.Ratios[mode][RegimeIsolated] = append(res.Ratios[mode][RegimeIsolated],
+				networkTileRatios(s)...)
+		}
+
+		// Controlled: ensembles of the same app, compact and disperse.
+		for _, rc := range []struct {
+			regime string
+			policy placement.Policy
+		}{
+			{RegimeControlledCompact, placement.Compact},
+			{RegimeControlledDisperse, placement.Dispersed},
+		} {
+			run, err := ensembleRun(m, p, milcApp(), p.EnsembleMedium, p.NodesMedium,
+				mode, rc.policy, seed+977, nil)
+			if err != nil {
+				return nil, err
+			}
+			for _, j := range run.Jobs {
+				for _, class := range networkClasses {
+					res.Ratios[mode][rc.regime] = append(res.Ratios[mode][rc.regime],
+						j.Report.LocalTileRatios[class]...)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render prints summary statistics of each regime's ratio distribution;
+// the paper's claim is that production lies between the two controlled
+// bounds under AD0.
+func (r *Fig11Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 11 — stalls-to-flits ratio on network tiles, MILC %d nodes\n", r.Nodes)
+	for _, mode := range []routing.Mode{routing.AD0, routing.AD3} {
+		fmt.Fprintf(&b, "%s:\n", mode)
+		for _, regime := range []string{
+			RegimeIsolated, RegimeControlledCompact, RegimeProduction, RegimeControlledDisperse,
+		} {
+			ratios := r.Ratios[mode][regime]
+			if len(ratios) == 0 {
+				continue
+			}
+			ps := stats.Percentiles(ratios, []float64{25, 50, 75, 95})
+			fmt.Fprintf(&b, "  %-20s n=%-6d mean=%-8.3f p25=%-8.3f p50=%-8.3f p75=%-8.3f p95=%-8.3f\n",
+				regime, len(ratios), stats.Mean(ratios), ps[0], ps[1], ps[2], ps[3])
+		}
+	}
+	return b.String()
+}

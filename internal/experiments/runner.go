@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/apps"
+	"repro/internal/autoperf"
+	"repro/internal/core"
+	"repro/internal/ldms"
+	"repro/internal/mpi"
+	"repro/internal/placement"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Sample is one production-style run observation: the unit of the paper's
+// per-application statistics.
+type Sample struct {
+	App        string
+	Mode       routing.Mode
+	Seed       int64
+	Nodes      int
+	Groups     int // dragonfly groups spanned by the placement
+	RuntimeSec float64
+	Report     *autoperf.Report
+}
+
+// MPISec returns the per-rank average MPI time in seconds.
+func (s Sample) MPISec() float64 {
+	if s.Report == nil || s.Report.Ranks == 0 {
+		return 0
+	}
+	return s.Report.Profile.MPITime().Seconds() / float64(s.Report.Ranks)
+}
+
+// jobSpec assembles the JobSpec for one production run. clusterGroups <= 0
+// means use the explicit placement policy instead.
+func (p Profile) jobSpec(app apps.App, nodes int, mode routing.Mode,
+	policy placement.Policy, clusterGroups int, seed int64) core.JobSpec {
+	return core.JobSpec{
+		App: app,
+		Cfg: apps.Config{
+			Iterations: p.iterationsFor(app.Name()),
+			Scale:      p.scaleFor(app.Name()),
+			Seed:       seed,
+		},
+		Nodes:         nodes,
+		Placement:     policy,
+		ClusterGroups: clusterGroups,
+		Env:           mpi.UniformEnv(mode),
+	}
+}
+
+// productionSamples runs p.Runs production runs per mode. Run i of every
+// mode shares a seed, so the placement (a fragmented allocation spanning a
+// seed-chosen number of groups) and the background noise are identical
+// across modes — only the instrumented job's routing differs, exactly the
+// paper's production methodology (the rest of the system stays on the
+// default AD0).
+func productionSamples(m *core.Machine, p Profile, app apps.App, nodes int,
+	modes []routing.Mode, seedBase int64) ([]Sample, error) {
+
+	maxGroups := m.Topo.Cfg.Groups
+	var out []Sample
+	for i := 0; i < p.Runs; i++ {
+		seed := seedBase + int64(i)
+		// Seed-derived target spread: covers 1..maxGroups over the
+		// campaign, like the paper's months of varying allocations.
+		gr := 1 + rand.New(rand.NewSource(seed*31+7)).Intn(maxGroups)
+		for _, mode := range modes {
+			spec := p.jobSpec(app, nodes, mode, placement.Dispersed, gr, seed)
+			job, _, err := m.RunOne(spec, core.RunOpts{
+				Seed:       seed,
+				Background: core.DefaultBackground(),
+				Warmup:     p.Warmup,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Sample{
+				App: app.Name(), Mode: mode, Seed: seed,
+				Nodes: nodes, Groups: job.GroupsSpanned,
+				RuntimeSec: job.Runtime.Seconds(), Report: job.Report,
+			})
+		}
+	}
+	return out, nil
+}
+
+// isolatedSample runs one app alone on an otherwise idle machine.
+func isolatedSample(m *core.Machine, p Profile, app apps.App, nodes int,
+	mode routing.Mode, policy placement.Policy, seed int64) (Sample, error) {
+
+	spec := p.jobSpec(app, nodes, mode, policy, 0, seed)
+	job, _, err := m.RunOne(spec, core.RunOpts{Seed: seed})
+	if err != nil {
+		return Sample{}, err
+	}
+	return Sample{
+		App: app.Name(), Mode: mode, Seed: seed,
+		Nodes: nodes, Groups: job.GroupsSpanned,
+		RuntimeSec: job.Runtime.Seconds(), Report: job.Report,
+	}, nil
+}
+
+// ensembleRun launches `count` simultaneous copies of the same app (the
+// paper's controlled reservation experiments) and returns the RunResult
+// with per-job results plus global counters / LDMS samples.
+func ensembleRun(m *core.Machine, p Profile, app apps.App, count, nodes int,
+	mode routing.Mode, policy placement.Policy, seed int64,
+	ldmsOpts *ldms.Options) (*core.RunResult, error) {
+
+	specs := make([]core.JobSpec, count)
+	for i := range specs {
+		specs[i] = p.jobSpec(app, nodes, mode, policy, 0, seed+int64(i))
+	}
+	return m.Run(specs, core.RunOpts{Seed: seed, LDMS: ldmsOpts})
+}
+
+// byMode partitions samples by routing mode.
+func byMode(samples []Sample) map[routing.Mode][]Sample {
+	out := make(map[routing.Mode][]Sample)
+	for _, s := range samples {
+		out[s.Mode] = append(out[s.Mode], s)
+	}
+	return out
+}
+
+// runtimes extracts runtime seconds.
+func runtimes(samples []Sample) []float64 {
+	out := make([]float64, len(samples))
+	for i, s := range samples {
+		out[i] = s.RuntimeSec
+	}
+	return out
+}
+
+// mpiTimes extracts per-rank MPI seconds.
+func mpiTimes(samples []Sample) []float64 {
+	out := make([]float64, len(samples))
+	for i, s := range samples {
+		out[i] = s.MPISec()
+	}
+	return out
+}
+
+// milcApp returns the plain MILC proxy.
+func milcApp() apps.App { return apps.MILC{} }
+
+// networkClasses are the three network tile classes (the "40 network
+// tiles" of the paper's Fig. 11).
+var networkClasses = []topology.TileClass{
+	topology.TileRank1, topology.TileRank2, topology.TileRank3,
+}
+
+// networkTileRatios pools a sample's per-tile stalls-to-flits ratios over
+// the network tile classes.
+func networkTileRatios(s Sample) []float64 {
+	var out []float64
+	for _, class := range networkClasses {
+		out = append(out, s.Report.LocalTileRatios[class]...)
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/routing"
+	"repro/internal/stats"
+)
+
+// Table2Row is one application's production comparison (the paper's
+// Table II): mean ± σ runtime under AD0 and AD3 and the percentage
+// improvements in total time and MPI time.
+type Table2Row struct {
+	App             string
+	MeanAD0, StdAD0 float64
+	MeanAD3, StdAD3 float64
+	ImprovePct      float64 // runtime improvement of AD3 over AD0
+	ImproveMPIPct   float64 // MPI-time improvement
+	Runs            int     // per mode
+	WelchT          float64 // significance of the runtime difference
+}
+
+// Table2Result is the full table plus the raw samples (shared with Figs.
+// 5-8, which decompose the same runs).
+type Table2Result struct {
+	Nodes   int
+	Rows    []Table2Row
+	Samples []Sample
+}
+
+// Table2AllApps runs the production campaign for every application at the
+// medium size under AD0 and AD3.
+func Table2AllApps(p Profile, seed int64) (*Table2Result, error) {
+	m, err := p.thetaMachine()
+	if err != nil {
+		return nil, err
+	}
+	res := &Table2Result{Nodes: p.NodesMedium}
+	modes := []routing.Mode{routing.AD0, routing.AD3}
+	for _, a := range apps.All() {
+		samples, err := productionSamples(m, p, a, p.NodesMedium, modes, seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Samples = append(res.Samples, samples...)
+		per := byMode(samples)
+		rt0 := stats.FilterOutliers(runtimes(per[routing.AD0]), 3)
+		rt3 := stats.FilterOutliers(runtimes(per[routing.AD3]), 3)
+		m0, s0 := stats.MeanStd(rt0)
+		m3, s3 := stats.MeanStd(rt3)
+		tstat, _ := stats.WelchT(rt0, rt3)
+		res.Rows = append(res.Rows, Table2Row{
+			App:     a.Name(),
+			MeanAD0: m0, StdAD0: s0,
+			MeanAD3: m3, StdAD3: s3,
+			ImprovePct:    stats.PercentImprovement(rt0, rt3),
+			ImproveMPIPct: stats.PercentImprovement(mpiTimes(per[routing.AD0]), mpiTimes(per[routing.AD3])),
+			Runs:          len(rt0),
+			WelchT:        tstat,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the table in the paper's format.
+func (r *Table2Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II — mean(σ) runtime (s) and %% improvement of AD3 over AD0, %d nodes, production\n", r.Nodes)
+	fmt.Fprintf(&b, "%-13s %-18s %-18s %-10s %-10s %-6s %-6s\n",
+		"App", "AD0 µ±σ", "AD3 µ±σ", "%time", "%MPI", "runs", "t")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-13s %8.4f ± %-7.4f %8.4f ± %-7.4f %-10.1f %-10.1f %-6d %-6.1f\n",
+			row.App, row.MeanAD0, row.StdAD0, row.MeanAD3, row.StdAD3,
+			row.ImprovePct, row.ImproveMPIPct, row.Runs, row.WelchT)
+	}
+	return b.String()
+}

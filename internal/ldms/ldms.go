@@ -1,0 +1,133 @@
+// Package ldms reproduces the LDMS global monitoring the paper uses: a
+// daemon sampling every router's tile counters (and optionally every NIC's
+// ORB latency counters) at a fixed period across the whole system, giving
+// the system-level congestion view of Section V.
+package ldms
+
+import (
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Sample is one global observation window (the delta between two
+// consecutive daemon ticks).
+type Sample struct {
+	At     sim.Time
+	Totals network.ClassTotals
+	// RouterRatios holds each router's network-tile stalls-to-flits
+	// ratio for this window (only when RecordRouterRatios is set).
+	RouterRatios []float64
+	// NICLatency holds each node's mean request-response latency for
+	// this window in seconds (only when RecordNICLatency is set; NaNs
+	// excluded, nodes with no tracked pairs omitted).
+	NICLatency []float64
+}
+
+// Options configures what each tick records beyond class totals.
+type Options struct {
+	Period             sim.Time
+	RecordRouterRatios bool
+	RecordNICLatency   bool
+}
+
+// Daemon periodically samples a fabric's counters. Start schedules the
+// first tick; Stop prevents further ticks (one already-scheduled tick may
+// still fire and is recorded normally).
+type Daemon struct {
+	fab     *network.Fabric
+	opts    Options
+	prev    *network.Counters
+	prevAt  sim.Time
+	samples []Sample
+	stopped bool
+}
+
+// Start launches a daemon on fab's kernel.
+func Start(fab *network.Fabric, opts Options) *Daemon {
+	if opts.Period <= 0 {
+		opts.Period = sim.Second // LDMS default on Theta: 1 minute; ours: 1s windows
+	}
+	d := &Daemon{fab: fab, opts: opts, prev: fab.Counters().Snapshot(), prevAt: fab.Kernel().Now()}
+	d.arm()
+	return d
+}
+
+func (d *Daemon) arm() {
+	d.fab.Kernel().After(d.opts.Period, func() {
+		if d.stopped {
+			return
+		}
+		d.tick()
+		d.arm()
+	})
+}
+
+// tick records one window.
+func (d *Daemon) tick() {
+	now := d.fab.Kernel().Now()
+	cur := d.fab.Counters().Snapshot()
+	delta := cur.Sub(d.prev)
+	s := Sample{At: now, Totals: delta.Aggregate(nil)}
+	if d.opts.RecordRouterRatios {
+		s.RouterRatios = delta.RouterRatios(nil)
+	}
+	if d.opts.RecordNICLatency {
+		topo := d.fab.Topology()
+		for n := 0; n < topo.NumNodes(); n++ {
+			if delta.ORBCount[n] > 0 {
+				lat := delta.ORBTimeSum[n] / sim.Time(delta.ORBCount[n])
+				s.NICLatency = append(s.NICLatency, lat.Seconds())
+			}
+		}
+	}
+	d.samples = append(d.samples, s)
+	d.prev = cur
+	d.prevAt = now
+}
+
+// Stop halts future sampling and records one final partial window.
+func (d *Daemon) Stop() {
+	if d.stopped {
+		return
+	}
+	if d.fab.Kernel().Now() > d.prevAt {
+		d.tick()
+	}
+	d.stopped = true
+}
+
+// Samples returns the recorded windows.
+func (d *Daemon) Samples() []Sample { return d.samples }
+
+// TotalsOverall sums class totals across all windows.
+func (d *Daemon) TotalsOverall() network.ClassTotals {
+	var ct network.ClassTotals
+	for _, s := range d.samples {
+		for c := topology.TileClass(0); c < topology.NumTileClasses; c++ {
+			ct.Flits[c] += s.Totals.Flits[c]
+			ct.Stalls[c] += s.Totals.Stalls[c]
+		}
+	}
+	return ct
+}
+
+// AllRouterRatios concatenates router-ratio samples across windows (the
+// population behind the paper's Fig. 13 STALLS/FLITS panels).
+func (d *Daemon) AllRouterRatios() []float64 {
+	var out []float64
+	for _, s := range d.samples {
+		out = append(out, s.RouterRatios...)
+	}
+	return out
+}
+
+// AllNICLatencies concatenates per-NIC mean-latency samples across windows
+// (the population behind the paper's Fig. 14 percentiles).
+func (d *Daemon) AllNICLatencies() []float64 {
+	var out []float64
+	for _, s := range d.samples {
+		out = append(out, s.NICLatency...)
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package mpi
+
+// Collective algorithms over the point-to-point layer, mirroring the
+// classic MPICH implementations: dissemination barrier, recursive-doubling
+// allreduce, binomial reduce/bcast, pairwise-exchange alltoall[v], ring
+// allgather. Alltoall[v] traffic is posted with the A2A routing mode, as
+// Cray MPI does.
+
+// collTagBase keeps collective tags out of the application tag space.
+const collTagBase = 1 << 48
+
+// collTag builds a tag unique per (collective invocation, round) so
+// back-to-back collectives cannot mismatch. The round space is 2^20, far
+// above any round index used (pairwise exchange uses the partner offset).
+func (r *Rank) collTag(round int) int {
+	return collTagBase + r.seq<<20 + round
+}
+
+// startColl begins a collective: bumps the per-rank op sequence (all ranks
+// call collectives in the same program order, so sequences agree).
+func (r *Rank) startColl() {
+	r.seq++
+}
+
+// Barrier blocks until all ranks arrive (dissemination algorithm).
+func (r *Rank) Barrier() {
+	r.timed("MPI_Barrier", 0, func() {
+		r.startColl()
+		n := r.Size()
+		for k, round := 1, 0; k < n; k, round = k<<1, round+1 {
+			dst := (r.id + k) % n
+			src := (r.id - k + n) % n
+			sq := r.isend(dst, r.collTag(round), 1, false)
+			rq := r.irecv(src, r.collTag(round), 1)
+			r.wait(sq)
+			r.wait(rq)
+		}
+	})
+}
+
+// Allreduce combines a bytes-sized vector across all ranks and leaves the
+// result everywhere (recursive doubling, with pre/post folding for
+// non-power-of-two sizes).
+func (r *Rank) Allreduce(bytes int) {
+	r.timed("MPI_Allreduce", bytes, func() {
+		r.startColl()
+		r.allreduceBody(bytes)
+	})
+}
+
+func (r *Rank) allreduceBody(bytes int) {
+	n := r.Size()
+	if n == 1 {
+		return
+	}
+	// Largest power of two <= n.
+	pow2 := 1
+	for pow2<<1 <= n {
+		pow2 <<= 1
+	}
+	extra := n - pow2
+	id := r.id
+
+	// Pre-fold: the top `extra` ranks send their data into the low group.
+	if id >= pow2 {
+		r.wait(r.isend(id-pow2, r.collTag(62), bytes, false))
+	} else if id < extra {
+		r.wait(r.irecv(id+pow2, r.collTag(62), bytes))
+	}
+
+	// Recursive doubling within the power-of-two group.
+	if id < pow2 {
+		for mask, round := 1, 0; mask < pow2; mask, round = mask<<1, round+1 {
+			partner := id ^ mask
+			sq := r.isend(partner, r.collTag(round), bytes, false)
+			rq := r.irecv(partner, r.collTag(round), bytes)
+			r.wait(sq)
+			r.wait(rq)
+		}
+	}
+
+	// Post-fold: results flow back to the top ranks.
+	if id >= pow2 {
+		r.wait(r.irecv(id-pow2, r.collTag(63), bytes))
+	} else if id < extra {
+		r.wait(r.isend(id+pow2, r.collTag(63), bytes, false))
+	}
+}
+
+// Reduce combines a vector onto root (binomial tree).
+func (r *Rank) Reduce(root, bytes int) {
+	r.timed("MPI_Reduce", bytes, func() {
+		r.startColl()
+		n := r.Size()
+		rel := (r.id - root + n) % n
+		for mask, round := 1, 0; mask < n; mask, round = mask<<1, round+1 {
+			if rel&mask != 0 {
+				dst := ((rel - mask) + root) % n
+				r.wait(r.isend(dst, r.collTag(round), bytes, false))
+				return
+			}
+			if rel|mask < n {
+				src := ((rel | mask) + root) % n
+				r.wait(r.irecv(src, r.collTag(round), bytes))
+			}
+		}
+	})
+}
+
+// Bcast distributes a vector from root (binomial tree).
+func (r *Rank) Bcast(root, bytes int) {
+	r.timed("MPI_Bcast", bytes, func() {
+		r.startColl()
+		n := r.Size()
+		rel := (r.id - root + n) % n
+		// Find the mask at which we receive (highest set bit of rel).
+		recvMask := 0
+		for mask := 1; mask < n; mask <<= 1 {
+			if rel&mask != 0 {
+				recvMask = mask
+			}
+		}
+		if rel != 0 {
+			src := ((rel ^ recvMask) + root) % n
+			r.wait(r.irecv(src, r.collTag(60), bytes))
+		}
+		// Forward to subtree: masks above our receive mask.
+		start := recvMask << 1
+		if rel == 0 {
+			start = 1
+		}
+		var reqs []*Request
+		for mask := start; mask < n; mask <<= 1 {
+			if rel+mask < n {
+				dst := ((rel | mask) + root) % n
+				reqs = append(reqs, r.isend(dst, r.collTag(60), bytes, false))
+			}
+		}
+		for _, q := range reqs {
+			r.wait(q)
+		}
+	})
+}
+
+// Alltoall exchanges bytesPerRank with every other rank (pairwise
+// exchange, n-1 rounds). Posted with the A2A routing mode.
+func (r *Rank) Alltoall(bytesPerRank int) {
+	r.timed("MPI_Alltoall", bytesPerRank*(r.Size()-1), func() {
+		r.startColl()
+		r.pairwise(func(partner int) (send, recv int) {
+			return bytesPerRank, bytesPerRank
+		})
+	})
+}
+
+// Alltoallv exchanges sendCounts[d] bytes with each rank d. All ranks must
+// pass structurally consistent counts (as MPI requires). Posted with the
+// A2A routing mode.
+func (r *Rank) Alltoallv(sendCounts []int) {
+	total := 0
+	for d, c := range sendCounts {
+		if d != r.id {
+			total += c
+		}
+	}
+	r.timed("MPI_Alltoallv", total, func() {
+		r.startColl()
+		r.pairwise(func(partner int) (send, recv int) {
+			return sendCounts[partner], 0 // recv size known on arrival
+		})
+	})
+}
+
+// pairwise runs the n-1 round pairwise exchange; sizes(partner) returns
+// the bytes to send to (and expect from) that round's partner.
+func (r *Rank) pairwise(sizes func(partner int) (send, recv int)) {
+	n := r.Size()
+	pow2 := n&(n-1) == 0
+	for i := 1; i < n; i++ {
+		var sendTo, recvFrom int
+		if pow2 {
+			sendTo = r.id ^ i
+			recvFrom = sendTo
+		} else {
+			sendTo = (r.id + i) % n
+			recvFrom = (r.id - i + n) % n
+		}
+		sendBytes, recvBytes := sizes(sendTo)
+		sq := r.isend(sendTo, r.collTag(i), sendBytes, true)
+		rq := r.irecv(recvFrom, r.collTag(i), recvBytes)
+		r.wait(sq)
+		r.wait(rq)
+	}
+}
+
+// Allgather gathers bytesPerRank from every rank to every rank (ring:
+// n-1 rounds, each forwarding one block).
+func (r *Rank) Allgather(bytesPerRank int) {
+	r.timed("MPI_Allgather", bytesPerRank*(r.Size()-1), func() {
+		r.startColl()
+		n := r.Size()
+		right := (r.id + 1) % n
+		left := (r.id - 1 + n) % n
+		for round := 0; round < n-1; round++ {
+			tag := r.collTag(round)
+			sq := r.isend(right, tag, bytesPerRank, false)
+			rq := r.irecv(left, tag, bytesPerRank)
+			r.wait(sq)
+			r.wait(rq)
+		}
+	})
+}

@@ -1,0 +1,51 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// BenchmarkPacketDelivery measures end-to-end fabric throughput in
+// packets: random 4KB sends across a 4-group dragonfly.
+func BenchmarkPacketDelivery(b *testing.B) {
+	topo, err := topology.Build(topology.TestConfig(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := sim.NewKernel()
+	f := New(k, topo, DefaultParams(), routing.DefaultConfig(), 1)
+	rng := rand.New(rand.NewSource(2))
+	n := topo.NumNodes()
+	for i := 0; i < b.N; i++ {
+		src := topology.NodeID(rng.Intn(n))
+		dst := topology.NodeID(rng.Intn(n))
+		f.Send(src, dst, 4096, routing.AD0)
+	}
+	b.ResetTimer()
+	k.Run()
+	b.ReportMetric(float64(k.Stats().EventsExecuted)/float64(b.N), "events/pkt")
+}
+
+// BenchmarkAdaptiveRoute measures the per-packet routing decision cost
+// (candidate sampling + load scoring) under live load state.
+func BenchmarkAdaptiveRoute(b *testing.B) {
+	topo, err := topology.Build(topology.ThetaMiniConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := sim.NewKernel()
+	f := New(k, topo, DefaultParams(), routing.DefaultConfig(), 1)
+	rng := rand.New(rand.NewSource(3))
+	eng := routing.NewEngine(topo, f, routing.DefaultConfig())
+	nr := topo.NumRouters()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := topology.RouterID(rng.Intn(nr))
+		dst := topology.RouterID(rng.Intn(nr))
+		_ = eng.Route(routing.AD0, rng, src, dst, 0)
+	}
+}

@@ -1,0 +1,67 @@
+// Package network simulates the Aries fabric at packet granularity: NIC
+// injection/ejection servers and router-to-router links modeled as FIFO
+// transmission servers with finite, virtual-channel-indexed input buffers.
+// A full downstream buffer blocks the upstream server (backpressure), which
+// is what lets congestion percolate backwards from hot rank-3 links — the
+// effect at the center of the paper's HACC analysis. Every traversal and
+// every blocked interval is recorded in Aries-style tile counters.
+package network
+
+import (
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Packet is one routed network packet (a chunk of a Message, or a
+// response). Packets are routed independently and adaptively, as on Aries.
+type Packet struct {
+	src, dst topology.NodeID
+	bytes    int
+	flits    int
+	route    []topology.LinkID
+	hop      int  // index into route of the link currently holding us
+	routed   bool // route assigned (happens lazily at injection head)
+	response bool // response-VC packet (ack); does not trigger a response
+	nonMin   bool // took a Valiant route
+	rspMode  routing.Mode
+	sendTime sim.Time
+	routedAt sim.Time // when the route was chosen (injection head)
+	msg      *Message // nil for responses
+}
+
+// Bytes returns the packet payload size.
+func (p *Packet) Bytes() int { return p.bytes }
+
+// Response reports whether this is a response-channel packet.
+func (p *Packet) Response() bool { return p.response }
+
+// Message is one application-level transfer, fragmented into packets at
+// the source NIC. The Done signal fires when the final packet is delivered
+// to the destination node.
+type Message struct {
+	Src, Dst topology.NodeID
+	Bytes    int
+	Mode     routing.Mode
+
+	Done        *sim.Signal
+	DeliveredAt sim.Time
+	// OnDelivered, when non-nil, runs in kernel context immediately
+	// before Done fires. Upper layers (MPI matching) hook it to react to
+	// deliveries without needing a live proc.
+	OnDelivered func(*Message)
+
+	remaining int // undelivered packets
+	minimal   int // packets that took a minimal route
+	nonMin    int // packets that took a non-minimal route
+
+	// TransitSum accumulates per-packet network transit (routing
+	// decision to delivery) across the message's packets.
+	TransitSum sim.Time
+}
+
+// RouteCounts reports how many of the message's packets took minimal and
+// non-minimal routes (diagnostic, used by routing-behaviour tests).
+func (m *Message) RouteCounts() (minimal, nonMinimal int) {
+	return m.minimal, m.nonMin
+}

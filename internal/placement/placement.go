@@ -1,0 +1,190 @@
+// Package placement allocates compute nodes to jobs. It provides the two
+// policies the paper's controlled experiments compare — compact (fill
+// node IDs in order, minimizing groups spanned) and dispersed (uniform
+// random over free nodes, the ALPS-style scattered allocation) — plus
+// groups-spanned accounting used to organize Figs. 3 and 4.
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// Policy selects how nodes are chosen for a job.
+type Policy uint8
+
+// Placement policies.
+const (
+	// Compact fills free nodes in ascending ID order: consecutive
+	// routers, chassis, and groups.
+	Compact Policy = iota
+	// Dispersed picks uniformly random free nodes, typically spanning
+	// many groups.
+	Dispersed
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Compact:
+		return "compact"
+	case Dispersed:
+		return "dispersed"
+	}
+	return fmt.Sprintf("Policy(%d)", uint8(p))
+}
+
+// Allocator tracks node occupancy for one machine.
+type Allocator struct {
+	topo  *topology.Topology
+	used  []bool
+	nUsed int
+}
+
+// NewAllocator returns an allocator with all active nodes free.
+func NewAllocator(topo *topology.Topology) *Allocator {
+	return &Allocator{topo: topo, used: make([]bool, topo.NumNodes())}
+}
+
+// FreeNodes returns how many nodes are currently free.
+func (a *Allocator) FreeNodes() int { return len(a.used) - a.nUsed }
+
+// Alloc reserves n nodes under the given policy. rng is used only by
+// Dispersed. Returns an error if fewer than n nodes are free.
+func (a *Allocator) Alloc(n int, policy Policy, rng *rand.Rand) ([]topology.NodeID, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("placement: invalid allocation size %d", n)
+	}
+	if n > a.FreeNodes() {
+		return nil, fmt.Errorf("placement: %d nodes requested, %d free", n, a.FreeNodes())
+	}
+	var out []topology.NodeID
+	switch policy {
+	case Compact:
+		out = make([]topology.NodeID, 0, n)
+		for id := 0; id < len(a.used) && len(out) < n; id++ {
+			if !a.used[id] {
+				out = append(out, topology.NodeID(id))
+			}
+		}
+	case Dispersed:
+		free := make([]topology.NodeID, 0, a.FreeNodes())
+		for id := 0; id < len(a.used); id++ {
+			if !a.used[id] {
+				free = append(free, topology.NodeID(id))
+			}
+		}
+		rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+		out = append([]topology.NodeID(nil), free[:n]...)
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	default:
+		return nil, fmt.Errorf("placement: unknown policy %v", policy)
+	}
+	for _, id := range out {
+		a.used[id] = true
+	}
+	a.nUsed += n
+	return out, nil
+}
+
+// Free releases previously allocated nodes. Releasing a free node panics:
+// it means the caller double-freed an allocation.
+func (a *Allocator) Free(nodes []topology.NodeID) {
+	for _, id := range nodes {
+		if !a.used[id] {
+			panic(fmt.Sprintf("placement: double free of node %d", id))
+		}
+		a.used[id] = false
+		a.nUsed--
+	}
+}
+
+// AllocClustered reserves n nodes drawn from approximately `groups`
+// randomly chosen dragonfly groups, emulating the fragmented first-fit
+// placements of a production scheduler (a job may land on anything from 1
+// group to the whole machine — the x-axis of the paper's Figs. 3 and 4).
+// If the chosen groups cannot hold n nodes, more groups are drawn; the
+// call fails only when the whole machine cannot.
+func (a *Allocator) AllocClustered(n, groups int, rng *rand.Rand) ([]topology.NodeID, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("placement: invalid allocation size %d", n)
+	}
+	if n > a.FreeNodes() {
+		return nil, fmt.Errorf("placement: %d nodes requested, %d free", n, a.FreeNodes())
+	}
+	ng := a.topo.Cfg.Groups
+	if groups < 1 {
+		groups = 1
+	}
+	if groups > ng {
+		groups = ng
+	}
+	order := rng.Perm(ng)
+	// Free nodes per group, in the random group order.
+	out := make([]topology.NodeID, 0, n)
+	chosen := 0
+	for _, g := range order {
+		if len(out) >= n {
+			break
+		}
+		if chosen >= groups && len(out) >= n {
+			break
+		}
+		free := a.freeInGroup(topology.GroupID(g))
+		if len(free) == 0 {
+			continue
+		}
+		chosen++
+		rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+		need := n - len(out)
+		if need > len(free) {
+			need = len(free)
+		}
+		out = append(out, free[:need]...)
+	}
+	if len(out) < n {
+		return nil, fmt.Errorf("placement: fragmented machine cannot hold %d nodes", n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	for _, id := range out {
+		a.used[id] = true
+	}
+	a.nUsed += n
+	return out, nil
+}
+
+// freeInGroup lists the free nodes of one group.
+func (a *Allocator) freeInGroup(g topology.GroupID) []topology.NodeID {
+	var out []topology.NodeID
+	for id := 0; id < len(a.used); id++ {
+		if !a.used[id] && a.topo.GroupOfNode(topology.NodeID(id)) == g {
+			out = append(out, topology.NodeID(id))
+		}
+	}
+	return out
+}
+
+// GroupsSpanned counts the distinct dragonfly groups the nodes occupy.
+func GroupsSpanned(topo *topology.Topology, nodes []topology.NodeID) int {
+	seen := make(map[topology.GroupID]struct{})
+	for _, n := range nodes {
+		seen[topo.GroupOfNode(n)] = struct{}{}
+	}
+	return len(seen)
+}
+
+// RoutersOf returns the distinct routers hosting the nodes, ascending.
+func RoutersOf(topo *topology.Topology, nodes []topology.NodeID) []topology.RouterID {
+	seen := make(map[topology.RouterID]struct{})
+	for _, n := range nodes {
+		seen[topo.RouterOfNode(n)] = struct{}{}
+	}
+	out := make([]topology.RouterID, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,240 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func buildTopo(t testing.TB, groups int) *topology.Topology {
+	t.Helper()
+	topo, err := topology.Build(topology.TestConfig(groups))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestCompactAllocation(t *testing.T) {
+	topo := buildTopo(t, 4)
+	a := NewAllocator(topo)
+	nodes, err := a.Alloc(8, Compact, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range nodes {
+		if int(n) != i {
+			t.Fatalf("compact allocation not contiguous: %v", nodes)
+		}
+	}
+	// One group of the test config holds 16 nodes; 8 nodes span 1 group.
+	if g := GroupsSpanned(topo, nodes); g != 1 {
+		t.Fatalf("compact 8 nodes span %d groups", g)
+	}
+}
+
+func TestCompactSkipsUsed(t *testing.T) {
+	topo := buildTopo(t, 4)
+	a := NewAllocator(topo)
+	first, _ := a.Alloc(4, Compact, nil)
+	second, _ := a.Alloc(4, Compact, nil)
+	if second[0] != 4 {
+		t.Fatalf("second allocation starts at %d", second[0])
+	}
+	a.Free(first)
+	third, _ := a.Alloc(2, Compact, nil)
+	if third[0] != 0 {
+		t.Fatalf("freed nodes not reused: %v", third)
+	}
+}
+
+func TestDispersedSpansGroups(t *testing.T) {
+	topo := buildTopo(t, 4)
+	a := NewAllocator(topo)
+	rng := rand.New(rand.NewSource(42))
+	nodes, err := a.Alloc(16, Dispersed, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := GroupsSpanned(topo, nodes); g < 3 {
+		t.Fatalf("dispersed 16/64 nodes span only %d groups", g)
+	}
+	// Sorted output.
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i] <= nodes[i-1] {
+			t.Fatal("dispersed output not sorted/unique")
+		}
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	topo := buildTopo(t, 2)
+	a := NewAllocator(topo)
+	total := topo.NumNodes()
+	if _, err := a.Alloc(total, Compact, nil); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreeNodes() != 0 {
+		t.Fatalf("free = %d", a.FreeNodes())
+	}
+	if _, err := a.Alloc(1, Compact, nil); err == nil {
+		t.Fatal("overallocation succeeded")
+	}
+}
+
+func TestAllocInvalidSize(t *testing.T) {
+	a := NewAllocator(buildTopo(t, 2))
+	if _, err := a.Alloc(0, Compact, nil); err == nil {
+		t.Fatal("zero-size allocation succeeded")
+	}
+	if _, err := a.Alloc(-3, Compact, nil); err == nil {
+		t.Fatal("negative allocation succeeded")
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	a := NewAllocator(buildTopo(t, 2))
+	nodes, _ := a.Alloc(2, Compact, nil)
+	a.Free(nodes)
+	defer func() {
+		if recover() == nil {
+			t.Error("double free did not panic")
+		}
+	}()
+	a.Free(nodes)
+}
+
+func TestRoutersOf(t *testing.T) {
+	topo := buildTopo(t, 2)
+	// Nodes 0,1 share router 0; node 2 is router 1.
+	rs := RoutersOf(topo, []topology.NodeID{0, 1, 2})
+	if len(rs) != 2 || rs[0] != 0 || rs[1] != 1 {
+		t.Fatalf("routers = %v", rs)
+	}
+}
+
+// Property: random sequences of alloc/free never double-allocate a node
+// and keep the free count consistent.
+func TestAllocatorProperty(t *testing.T) {
+	f := func(seed int64, ops []uint8) bool {
+		topo, err := topology.Build(topology.TestConfig(3))
+		if err != nil {
+			return false
+		}
+		a := NewAllocator(topo)
+		rng := rand.New(rand.NewSource(seed))
+		var live [][]topology.NodeID
+		owned := make(map[topology.NodeID]bool)
+		for _, op := range ops {
+			if op%2 == 0 || len(live) == 0 {
+				n := 1 + int(op/2)%8
+				policy := Compact
+				if op%4 == 0 {
+					policy = Dispersed
+				}
+				nodes, err := a.Alloc(n, policy, rng)
+				if err != nil {
+					continue // exhausted is fine
+				}
+				for _, id := range nodes {
+					if owned[id] {
+						return false // double allocation
+					}
+					owned[id] = true
+				}
+				live = append(live, nodes)
+			} else {
+				i := int(op) % len(live)
+				a.Free(live[i])
+				for _, id := range live[i] {
+					delete(owned, id)
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		return a.FreeNodes() == topo.NumNodes()-len(owned)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupsSpannedProductionScale(t *testing.T) {
+	topo, err := topology.Build(topology.ThetaConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAllocator(topo)
+	rng := rand.New(rand.NewSource(1))
+
+	compact, _ := a.Alloc(256, Compact, rng)
+	dispersed, _ := a.Alloc(256, Dispersed, rng)
+	gc := GroupsSpanned(topo, compact)
+	gd := GroupsSpanned(topo, dispersed)
+	if gc > 2 {
+		t.Errorf("compact 256 nodes on Theta span %d groups, want <= 2", gc)
+	}
+	if gd < 8 {
+		t.Errorf("dispersed 256 nodes on Theta span %d groups, want most of 12", gd)
+	}
+}
+
+func TestAllocClustered(t *testing.T) {
+	topo, err := topology.Build(topology.ThetaMiniConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for _, target := range []int{1, 2, 4, 8, 12} {
+		a := NewAllocator(topo)
+		nodes, err := a.AllocClustered(24, target, rng)
+		if err != nil {
+			t.Fatalf("target %d: %v", target, err)
+		}
+		if len(nodes) != 24 {
+			t.Fatalf("target %d: got %d nodes", target, len(nodes))
+		}
+		got := GroupsSpanned(topo, nodes)
+		// 24 nodes need at least 1 group (32 nodes/group); spanning can
+		// exceed the target only when groups lack capacity.
+		if got > target+1 {
+			t.Errorf("target %d groups: spanned %d", target, got)
+		}
+		a.Free(nodes)
+	}
+}
+
+func TestAllocClusteredSpill(t *testing.T) {
+	topo, err := topology.Build(topology.ThetaMiniConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAllocator(topo)
+	rng := rand.New(rand.NewSource(3))
+	// Asking for more nodes than one group holds with target 1 must
+	// spill to additional groups rather than fail.
+	nodes, err := a.AllocClustered(100, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := GroupsSpanned(topo, nodes); g < 4 {
+		t.Errorf("100 nodes with 32/group spanned only %d groups", g)
+	}
+}
+
+func TestAllocClusteredErrors(t *testing.T) {
+	topo, err := topology.Build(topology.TestConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAllocator(topo)
+	rng := rand.New(rand.NewSource(3))
+	if _, err := a.AllocClustered(0, 1, rng); err == nil {
+		t.Error("zero-size clustered alloc succeeded")
+	}
+	if _, err := a.AllocClustered(topo.NumNodes()+1, 2, rng); err == nil {
+		t.Error("oversized clustered alloc succeeded")
+	}
+}

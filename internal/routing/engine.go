@@ -1,0 +1,308 @@
+package routing
+
+import (
+	"math/rand"
+
+	"repro/internal/topology"
+)
+
+// LoadEstimator exposes live congestion state to the adaptive choice. The
+// network fabric implements it with per-link queue occupancy in flits.
+type LoadEstimator interface {
+	// Load returns the current occupancy (queued flits) of a link.
+	Load(id topology.LinkID) int
+}
+
+// zeroLoad estimates every link as idle; used when no estimator is given.
+type zeroLoad struct{}
+
+func (zeroLoad) Load(topology.LinkID) int { return 0 }
+
+// Path is an ordered list of directed links from the source router to the
+// destination router. An empty path means source == destination.
+type Path struct {
+	Links      []topology.LinkID
+	NonMinimal bool
+}
+
+// Hops returns the number of router-to-router hops.
+func (p Path) Hops() int { return len(p.Links) }
+
+// Config tunes the adaptive engine.
+type Config struct {
+	// MinimalCandidates is how many distinct minimal paths (rank-3
+	// gateway choices) are scored per decision.
+	MinimalCandidates int
+	// NonMinimalCandidates is how many Valiant paths (intermediate group
+	// or intra-group intermediate router choices) are scored.
+	NonMinimalCandidates int
+	// Progressive enables per-hop bias growth for AD1 (the patented
+	// "increasingly minimal bias"): each hop already taken adds one to
+	// the effective shift. When false AD1 uses a fixed shift of 1.
+	Progressive bool
+}
+
+// DefaultConfig matches the values used throughout the reproduction.
+func DefaultConfig() Config {
+	return Config{MinimalCandidates: 2, NonMinimalCandidates: 2}
+}
+
+// Engine constructs adaptive routes over one topology.
+type Engine struct {
+	topo *topology.Topology
+	est  LoadEstimator
+	cfg  Config
+}
+
+// NewEngine builds an engine. est may be nil (all links idle).
+func NewEngine(topo *topology.Topology, est LoadEstimator, cfg Config) *Engine {
+	if est == nil {
+		est = zeroLoad{}
+	}
+	if cfg.MinimalCandidates < 1 {
+		cfg.MinimalCandidates = 1
+	}
+	if cfg.NonMinimalCandidates < 1 {
+		cfg.NonMinimalCandidates = 1
+	}
+	return &Engine{topo: topo, est: est, cfg: cfg}
+}
+
+// Topology returns the engine's topology.
+func (e *Engine) Topology() *topology.Topology { return e.topo }
+
+// pathLoad scores a path as the queue occupancy of its first link — the
+// only congestion state the source router can actually observe (as on
+// Aries, whose adaptive choice compares candidate output-port loads).
+// Two properties of this estimate drive everything the paper measures:
+//
+//   - It is local: remote congestion reaches it only indirectly and late,
+//     via backpressure filling the local output queue.
+//   - It carries no hop-count weighting: under AD0 ("equal bias") a
+//     non-minimal port that looks even slightly less loaded wins, even
+//     though the Valiant path pays double the hops through an equally
+//     congested middle. That is precisely why the paper finds the AD0
+//     default sub-optimal on busy systems, and why it is ideal only when
+//     network load is low (Section II-D: detours are free on an idle
+//     network and exploit path diversity).
+//
+// Each hop also contributes one base unit — the credit round-trip floor of
+// an idle channel. It is deliberately small against the load units (one
+// unit is 256B of queued traffic), so under real congestion the raw load
+// comparison dominates, but on an idle network it breaks ties toward
+// minimal and gives the AD3 shift a meaningful threshold: with an idle
+// 6-hop Valiant alternative, a minimal path must queue ~24 units (~6KB)
+// before AD3 lets go of it.
+func (e *Engine) pathLoad(links []topology.LinkID) int {
+	if len(links) == 0 {
+		return 0
+	}
+	return len(links) + e.est.Load(links[0])
+}
+
+// leastLoaded returns the link in ls with the smallest load, breaking ties
+// by earliest index. ls must be non-empty.
+func (e *Engine) leastLoaded(ls []topology.LinkID) topology.LinkID {
+	best := ls[0]
+	bestLoad := e.est.Load(best)
+	for _, l := range ls[1:] {
+		if v := e.est.Load(l); v < bestLoad {
+			best, bestLoad = l, v
+		}
+	}
+	return best
+}
+
+// intraGroup appends a minimal path between two routers of the same group
+// to dst (<= 2 hops: rank-1, rank-2, or one of each in load-preferred
+// order).
+func (e *Engine) intraGroup(buf []topology.LinkID, a, b topology.RouterID) []topology.LinkID {
+	if a == b {
+		return buf
+	}
+	t := e.topo
+	ra, rb := t.Routers[a], t.Routers[b]
+	if ra.Chassis == rb.Chassis {
+		return append(buf, t.R1Link(a, b))
+	}
+	if ra.Slot == rb.Slot {
+		return append(buf, e.leastLoaded(t.R2Links(a, b)))
+	}
+	// Two hops; the intermediate router is either (a.chassis, b.slot)
+	// reached by rank-1 first, or (b.chassis, a.slot) reached by rank-2
+	// first. Pick the alternative whose first link is less loaded.
+	groupBase := int(ra.Group) * t.Cfg.RoutersPerGroup()
+	viaRow := topology.RouterID(groupBase + ra.Chassis*t.Cfg.SlotsPerChassis + rb.Slot)
+	viaCol := topology.RouterID(groupBase + rb.Chassis*t.Cfg.SlotsPerChassis + ra.Slot)
+	r1First := t.R1Link(a, viaRow)
+	r2First := e.leastLoaded(t.R2Links(a, viaCol))
+	if e.est.Load(r1First) <= e.est.Load(r2First) {
+		buf = append(buf, r1First)
+		return append(buf, e.leastLoaded(t.R2Links(viaRow, b)))
+	}
+	buf = append(buf, r2First)
+	return append(buf, t.R1Link(viaCol, b))
+}
+
+// minimalInterGroup builds one minimal path from src to dst (different
+// groups) through the given rank-3 gateway link.
+func (e *Engine) minimalInterGroup(src, dst topology.RouterID, gw topology.LinkID) []topology.LinkID {
+	g := e.topo.Link(gw)
+	buf := make([]topology.LinkID, 0, 5)
+	buf = e.intraGroup(buf, src, g.Src)
+	buf = append(buf, gw)
+	return e.intraGroup(buf, g.Dst, dst)
+}
+
+// sampleGateways picks up to k distinct rank-3 links from group a to group
+// b, uniformly without replacement. k is tiny (<= 4), so rejection
+// sampling over indices beats any allocation-heavy scheme.
+func (e *Engine) sampleGateways(rng *rand.Rand, a, b topology.GroupID, k int) []topology.LinkID {
+	all := e.topo.GlobalLinks(a, b)
+	if len(all) <= k {
+		return all
+	}
+	var idx [8]int
+	if k > len(idx) {
+		k = len(idx)
+	}
+	count := 0
+	for count < k {
+		j := rng.Intn(len(all))
+		dup := false
+		for _, v := range idx[:count] {
+			if v == j {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			idx[count] = j
+			count++
+		}
+	}
+	out := make([]topology.LinkID, count)
+	for i, v := range idx[:count] {
+		out[i] = all[v]
+	}
+	return out
+}
+
+// bestMinimal returns the least-loaded minimal path among k sampled
+// gateway choices (or the <=2-hop intra-group path when src and dst share
+// a group).
+func (e *Engine) bestMinimal(rng *rand.Rand, src, dst topology.RouterID) []topology.LinkID {
+	t := e.topo
+	ga, gb := t.GroupOfRouter(src), t.GroupOfRouter(dst)
+	if ga == gb {
+		return e.intraGroup(make([]topology.LinkID, 0, 2), src, dst)
+	}
+	var best []topology.LinkID
+	bestLoad := 0
+	for _, gw := range e.sampleGateways(rng, ga, gb, e.cfg.MinimalCandidates) {
+		p := e.minimalInterGroup(src, dst, gw)
+		l := e.pathLoad(p)
+		if best == nil || l < bestLoad {
+			best, bestLoad = p, l
+		}
+	}
+	return best
+}
+
+// bestNonMinimal returns the least-loaded Valiant path: via a random
+// intermediate group (inter-group traffic) or a random intermediate router
+// (intra-group traffic).
+func (e *Engine) bestNonMinimal(rng *rand.Rand, src, dst topology.RouterID) []topology.LinkID {
+	t := e.topo
+	ga, gb := t.GroupOfRouter(src), t.GroupOfRouter(dst)
+	var best []topology.LinkID
+	bestLoad := 0
+	consider := func(p []topology.LinkID) {
+		if p == nil {
+			return
+		}
+		l := e.pathLoad(p)
+		if best == nil || l < bestLoad {
+			best, bestLoad = p, l
+		}
+	}
+	if ga == gb {
+		// Intra-group Valiant: detour through a random intermediate
+		// router of the same group.
+		rpg := t.Cfg.RoutersPerGroup()
+		if rpg <= 2 {
+			return nil // no intermediate router exists
+		}
+		for i := 0; i < e.cfg.NonMinimalCandidates; i++ {
+			mid := topology.RouterID(int(ga)*rpg + rng.Intn(rpg))
+			if mid == src || mid == dst {
+				continue
+			}
+			buf := make([]topology.LinkID, 0, 4)
+			buf = e.intraGroup(buf, src, mid)
+			consider(e.intraGroup(buf, mid, dst))
+		}
+		return best
+	}
+	// Inter-group Valiant: detour through a random third group.
+	ng := t.Cfg.Groups
+	if ng <= 2 {
+		return nil
+	}
+	for i := 0; i < e.cfg.NonMinimalCandidates; i++ {
+		mid := topology.GroupID(rng.Intn(ng))
+		if mid == ga || mid == gb {
+			continue
+		}
+		gw1 := e.sampleGateways(rng, ga, mid, 1)
+		gw2 := e.sampleGateways(rng, mid, gb, 1)
+		if len(gw1) == 0 || len(gw2) == 0 {
+			continue
+		}
+		l1, l2 := t.Link(gw1[0]), t.Link(gw2[0])
+		buf := make([]topology.LinkID, 0, 8)
+		buf = e.intraGroup(buf, src, l1.Src)
+		buf = append(buf, gw1[0])
+		buf = e.intraGroup(buf, l1.Dst, l2.Src)
+		buf = append(buf, gw2[0])
+		consider(e.intraGroup(buf, l2.Dst, dst))
+	}
+	return best
+}
+
+// Route makes one adaptive routing decision for a packet from src to dst
+// under the given mode, using live load estimates. hopsTaken is nonzero
+// only for progressive re-evaluation (AD1).
+func (e *Engine) Route(mode Mode, rng *rand.Rand, src, dst topology.RouterID, hopsTaken int) Path {
+	if src == dst {
+		return Path{}
+	}
+	min := e.bestMinimal(rng, src, dst)
+	if mode == MinimalOnly {
+		return Path{Links: min}
+	}
+	nonMin := e.bestNonMinimal(rng, src, dst)
+	if nonMin == nil {
+		return Path{Links: min}
+	}
+	if mode == ValiantOnly {
+		return Path{Links: nonMin, NonMinimal: true}
+	}
+	minLoad, nonMinLoad := e.pathLoad(min), e.pathLoad(nonMin)
+	if e.cfg.Progressive && mode == AD1 {
+		// Increasingly minimal: every hop already taken deepens the
+		// shift, so late detours become progressively unattractive.
+		shift := uint(1 + hopsTaken)
+		if shift > 4 {
+			shift = 4
+		}
+		if minLoad <= nonMinLoad<<shift {
+			return Path{Links: min}
+		}
+		return Path{Links: nonMin, NonMinimal: true}
+	}
+	if mode.PrefersMinimal(minLoad, nonMinLoad) {
+		return Path{Links: min}
+	}
+	return Path{Links: nonMin, NonMinimal: true}
+}

@@ -1,0 +1,54 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw kernel event dispatch: the floor
+// cost of everything built on the simulator.
+func BenchmarkEventThroughput(b *testing.B) {
+	k := NewKernel()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			k.After(Nanosecond, tick)
+		}
+	}
+	b.ResetTimer()
+	k.At(0, tick)
+	k.Run()
+}
+
+// BenchmarkHeapChurn measures scheduling with a deep pending queue, the
+// regime of a busy fabric.
+func BenchmarkHeapChurn(b *testing.B) {
+	k := NewKernel()
+	// Pre-fill with far-future events to keep the heap deep.
+	for i := 0; i < 4096; i++ {
+		k.At(Time(1_000_000+i)*Nanosecond, func() {})
+	}
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			k.After(Time(n%7+1)*Nanosecond, tick)
+		}
+	}
+	b.ResetTimer()
+	k.At(0, tick)
+	k.RunUntil(999_999 * Nanosecond)
+}
+
+// BenchmarkProcSwitch measures coroutine handoff cost (two goroutine
+// channel transfers per blocking operation).
+func BenchmarkProcSwitch(b *testing.B) {
+	k := NewKernel()
+	k.Spawn(func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(Nanosecond)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"fmt"
+)
+
+// event is one scheduled callback.
+type event struct {
+	t   Time
+	seq uint64 // tie-breaker: FIFO among equal timestamps
+	fn  func()
+}
+
+// less orders events by (t, seq): deterministic FIFO among equal times.
+func (e *event) less(o *event) bool {
+	if e.t != o.t {
+		return e.t < o.t
+	}
+	return e.seq < o.seq
+}
+
+// eventHeap is an inline 4-ary min-heap of event values. A 4-ary layout
+// halves the tree depth of sift-down (the hot operation in a DES where
+// most pushes are near-future) and avoids container/heap's interface
+// boxing; this is the single hottest structure in the simulator.
+type eventHeap []event
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	s := *h
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !s[i].less(&s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s[last] = event{} // release the closure for GC
+	s = s[:last]
+	*h = s
+	// Sift down.
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= len(s) {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > len(s) {
+			end = len(s)
+		}
+		for c := first + 1; c < end; c++ {
+			if s[c].less(&s[min]) {
+				min = c
+			}
+		}
+		if !s[min].less(&s[i]) {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}
+
+// Kernel is a deterministic discrete-event simulator.
+//
+// The zero value is not usable; construct with NewKernel. A Kernel is not
+// safe for concurrent use: all model code must run on the kernel goroutine
+// or inside a Proc it controls.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	parked  chan struct{} // procs hand control back to the kernel here
+	nProcs  int           // live (spawned, not yet finished) procs
+	stats   KernelStats
+}
+
+// KernelStats counts kernel-level activity, useful in benchmarks and tests.
+type KernelStats struct {
+	EventsExecuted uint64
+	ProcsSpawned   uint64
+	ProcSwitches   uint64
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{parked: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Stats returns a copy of the kernel's activity counters.
+func (k *Kernel) Stats() KernelStats { return k.stats }
+
+// Pending returns the number of queued events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// that is always a model bug, and silently reordering would break
+// determinism guarantees.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	k.seq++
+	k.events.push(event{t: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+// Stop makes Run return after the current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// step executes the earliest event. Returns false when no events remain.
+func (k *Kernel) step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	e := k.events.pop()
+	k.now = e.t
+	k.stats.EventsExecuted++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called. It returns
+// the final virtual time.
+func (k *Kernel) Run() Time {
+	k.stopped = false
+	for !k.stopped && k.step() {
+	}
+	return k.now
+}
+
+// RunUntil executes events with timestamps ≤ deadline, then advances the
+// clock to deadline (even if idle) and returns. Events scheduled beyond the
+// deadline remain queued.
+func (k *Kernel) RunUntil(deadline Time) Time {
+	k.stopped = false
+	for !k.stopped {
+		if len(k.events) == 0 || k.events[0].t > deadline {
+			break
+		}
+		k.step()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+	return k.now
+}

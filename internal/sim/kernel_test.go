@@ -1,0 +1,302 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{2 * Nanosecond, "2ns"},
+		{1500 * Nanosecond, "1.5us"},
+		{3 * Millisecond, "3ms"},
+		{2 * Second, "2s"},
+		{-2 * Second, "-2s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	if got := FromSeconds(1.5); got != 1500*Millisecond {
+		t.Fatalf("FromSeconds(1.5) = %v", got)
+	}
+	if got := (250 * Millisecond).Seconds(); got != 0.25 {
+		t.Fatalf("Seconds() = %v", got)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.At(10*Nanosecond, func() { order = append(order, 2) })
+	k.At(5*Nanosecond, func() { order = append(order, 1) })
+	k.At(10*Nanosecond, func() { order = append(order, 3) }) // same time: FIFO
+	k.At(20*Nanosecond, func() { order = append(order, 4) })
+	end := k.Run()
+	if end != 20*Nanosecond {
+		t.Fatalf("end time = %v, want 20ns", end)
+	}
+	want := []int{1, 2, 3, 4}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	k := NewKernel()
+	k.At(10*Nanosecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(5*Nanosecond, func() {})
+	})
+	k.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	k.At(10*Nanosecond, func() { fired++ })
+	k.At(30*Nanosecond, func() { fired++ })
+	k.RunUntil(20 * Nanosecond)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if k.Now() != 20*Nanosecond {
+		t.Fatalf("now = %v, want 20ns (idle advance)", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", k.Pending())
+	}
+	k.Run()
+	if fired != 2 || k.Now() != 30*Nanosecond {
+		t.Fatalf("after Run: fired=%d now=%v", fired, k.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := NewKernel()
+	n := 0
+	k.At(1*Nanosecond, func() { n++; k.Stop() })
+	k.At(2*Nanosecond, func() { n++ })
+	k.Run()
+	if n != 1 {
+		t.Fatalf("n = %d, want 1 (Stop should halt)", n)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	k := NewKernel()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			k.After(1*Nanosecond, recurse)
+		}
+	}
+	k.At(0, recurse)
+	k.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if k.Now() != 99*Nanosecond {
+		t.Fatalf("now = %v, want 99ns", k.Now())
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	k := NewKernel()
+	var wake Time
+	k.Spawn(func(p *Proc) {
+		p.Sleep(5 * Microsecond)
+		wake = p.Now()
+	})
+	k.Run()
+	if wake != 5*Microsecond {
+		t.Fatalf("woke at %v, want 5us", wake)
+	}
+}
+
+func TestProcSignal(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal()
+	var got []string
+	k.Spawn(func(p *Proc) {
+		p.Wait(s)
+		got = append(got, "waiter@"+p.Now().String())
+	})
+	k.Spawn(func(p *Proc) {
+		p.Sleep(3 * Nanosecond)
+		got = append(got, "firer")
+		s.Fire(k)
+	})
+	k.Run()
+	if len(got) != 2 || got[0] != "firer" || got[1] != "waiter@3ns" {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestSignalAlreadyFired(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal()
+	s.Fire(k)
+	s.Fire(k) // double-fire is a no-op
+	ran := false
+	k.Spawn(func(p *Proc) {
+		p.Wait(s) // returns immediately
+		ran = true
+	})
+	k.Run()
+	if !ran {
+		t.Fatal("proc waiting on fired signal never ran")
+	}
+}
+
+func TestWaitAll(t *testing.T) {
+	k := NewKernel()
+	a, b, c := NewSignal(), NewSignal(), NewSignal()
+	var done Time
+	k.Spawn(func(p *Proc) {
+		p.WaitAll(a, b, c)
+		done = p.Now()
+	})
+	k.At(1*Nanosecond, func() { b.Fire(k) })
+	k.At(2*Nanosecond, func() { a.Fire(k) })
+	k.At(7*Nanosecond, func() { c.Fire(k) })
+	k.Run()
+	if done != 7*Nanosecond {
+		t.Fatalf("WaitAll completed at %v, want 7ns", done)
+	}
+}
+
+func TestManyProcsDeterministic(t *testing.T) {
+	run := func(seed int64) []int {
+		k := NewKernel()
+		rng := rand.New(rand.NewSource(seed))
+		var order []int
+		for i := 0; i < 50; i++ {
+			i := i
+			d := Time(rng.Intn(1000)) * Nanosecond
+			k.Spawn(func(p *Proc) {
+				p.Sleep(d)
+				order = append(order, i)
+			})
+		}
+		k.Run()
+		return order
+	}
+	a, b := run(42), run(42)
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatalf("lengths: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic order at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestProcChain(t *testing.T) {
+	// A chain of procs each waking the next via a signal: exercises
+	// proc→proc control transfer through the kernel.
+	k := NewKernel()
+	const n = 64
+	sigs := make([]*Signal, n+1)
+	for i := range sigs {
+		sigs[i] = NewSignal()
+	}
+	hops := 0
+	for i := 0; i < n; i++ {
+		i := i
+		k.Spawn(func(p *Proc) {
+			p.Wait(sigs[i])
+			hops++
+			p.Sleep(1 * Nanosecond)
+			sigs[i+1].Fire(k)
+		})
+	}
+	k.At(0, func() { sigs[0].Fire(k) })
+	k.Run()
+	if hops != n {
+		t.Fatalf("hops = %d, want %d", hops, n)
+	}
+	if !sigs[n].Fired() {
+		t.Fatal("final signal not fired")
+	}
+	if k.Now() != Time(n)*Nanosecond {
+		t.Fatalf("now = %v, want %dns", k.Now(), n)
+	}
+}
+
+func TestKernelStats(t *testing.T) {
+	k := NewKernel()
+	k.Spawn(func(p *Proc) { p.Sleep(1 * Nanosecond) })
+	k.At(0, func() {})
+	k.Run()
+	st := k.Stats()
+	if st.ProcsSpawned != 1 {
+		t.Fatalf("ProcsSpawned = %d", st.ProcsSpawned)
+	}
+	if st.EventsExecuted < 2 {
+		t.Fatalf("EventsExecuted = %d, want >= 2", st.EventsExecuted)
+	}
+	if st.ProcSwitches < 2 {
+		t.Fatalf("ProcSwitches = %d, want >= 2", st.ProcSwitches)
+	}
+}
+
+// Property: for any batch of (delay, id) pairs, procs complete in
+// nondecreasing delay order, ties broken by spawn order.
+func TestProcOrderingProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		if len(delays) > 200 {
+			delays = delays[:200]
+		}
+		k := NewKernel()
+		type rec struct {
+			d  Time
+			id int
+		}
+		var finished []rec
+		for i, d := range delays {
+			i, dt := i, Time(d)*Nanosecond
+			k.Spawn(func(p *Proc) {
+				p.Sleep(dt)
+				finished = append(finished, rec{dt, i})
+			})
+		}
+		k.Run()
+		if len(finished) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(finished); i++ {
+			if finished[i].d < finished[i-1].d {
+				return false
+			}
+			if finished[i].d == finished[i-1].d && finished[i].id < finished[i-1].id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,131 @@
+// Package viz renders small text visualizations for terminal output:
+// sparkline series for counter time series and heat-strips for per-router
+// distributions, standing in for the paper's scatter/trend plots.
+package viz
+
+import (
+	"fmt"
+	"strings"
+)
+
+// sparkRunes are eight vertical bar levels.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders xs as a compact bar series scaled to [min, max].
+func Sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	var b strings.Builder
+	for _, x := range xs {
+		idx := 0
+		if hi > lo {
+			idx = int((x - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// heatRunes are five intensity levels for heat strips.
+var heatRunes = []rune(" .:*#")
+
+// HeatStrip renders values as an intensity strip with a shared scale
+// [0, max]; useful for per-router ratio maps (one character per router).
+func HeatStrip(xs []float64, max float64) string {
+	if max <= 0 {
+		for _, x := range xs {
+			if x > max {
+				max = x
+			}
+		}
+	}
+	var b strings.Builder
+	for _, x := range xs {
+		idx := 0
+		if max > 0 {
+			idx = int(x / max * float64(len(heatRunes)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(heatRunes) {
+			idx = len(heatRunes) - 1
+		}
+		b.WriteRune(heatRunes[idx])
+	}
+	return b.String()
+}
+
+// GroupHeatmap renders per-router values as one heat-strip row per
+// dragonfly group (routersPerGroup wide), with a caption per row. Values
+// beyond full groups are ignored.
+func GroupHeatmap(values []float64, routersPerGroup int) string {
+	if routersPerGroup <= 0 || len(values) == 0 {
+		return ""
+	}
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	groups := len(values) / routersPerGroup
+	for g := 0; g < groups; g++ {
+		row := values[g*routersPerGroup : (g+1)*routersPerGroup]
+		fmt.Fprintf(&b, "g%-3d |%s| max=%.2f\n", g, HeatStrip(row, max), rowMax(row))
+	}
+	return b.String()
+}
+
+func rowMax(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Histogram renders counts as horizontal bars with labels.
+func Histogram(labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		n := 0
+		if max > 0 {
+			n = int(v / max * float64(width))
+		}
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		fmt.Fprintf(&b, "%-12s %8.3g %s\n", label, v, strings.Repeat("#", n))
+	}
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if len([]rune(s)) != 8 {
+		t.Fatalf("length = %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Errorf("scaling broken: %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty input should yield empty string")
+	}
+	// Constant input: all minimum.
+	for _, r := range Sparkline([]float64{5, 5, 5}) {
+		if r != '▁' {
+			t.Errorf("constant input rendered %q", r)
+		}
+	}
+}
+
+func TestHeatStrip(t *testing.T) {
+	s := HeatStrip([]float64{0, 0.25, 0.5, 0.75, 1}, 1)
+	runes := []rune(s)
+	if len(runes) != 5 {
+		t.Fatalf("length = %d", len(runes))
+	}
+	if runes[0] != ' ' || runes[4] != '#' {
+		t.Errorf("intensity scaling broken: %q", s)
+	}
+	// Auto-max path.
+	s2 := HeatStrip([]float64{0, 2, 4}, 0)
+	if []rune(s2)[2] != '#' {
+		t.Errorf("auto max broken: %q", s2)
+	}
+}
+
+func TestGroupHeatmap(t *testing.T) {
+	values := make([]float64, 8)
+	values[3] = 1.0
+	values[7] = 0.5
+	out := GroupHeatmap(values, 4)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("rows = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "g0") || !strings.HasPrefix(lines[1], "g1") {
+		t.Errorf("captions: %v", lines)
+	}
+	if !strings.Contains(lines[0], "max=1.00") {
+		t.Errorf("row max missing: %s", lines[0])
+	}
+	if GroupHeatmap(nil, 4) != "" || GroupHeatmap(values, 0) != "" {
+		t.Error("degenerate inputs should yield empty output")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	out := Histogram([]string{"AD0", "AD3"}, []float64{10, 5}, 20)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], strings.Repeat("#", 20)) {
+		t.Errorf("max bar not full width: %s", lines[0])
+	}
+	if strings.Count(lines[1], "#") != 10 {
+		t.Errorf("half bar wrong: %s", lines[1])
+	}
+}
