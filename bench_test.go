@@ -13,13 +13,64 @@ package repro_test
 // memoize it, exactly as cmd/reproduce does.
 
 import (
+	"reflect"
+	"runtime"
 	"testing"
 
+	"repro/internal/apps"
 	"repro/internal/experiments"
 	"repro/internal/routing"
 )
 
 func benchProfile() experiments.Profile { return experiments.Bench() }
+
+// ensembleProfile sizes the sequential-vs-parallel benchmark pair: enough
+// independent runs (Runs x 2 modes) to keep every worker busy.
+func ensembleProfile(workers int) experiments.Profile {
+	p := benchProfile()
+	p.Runs = 4
+	p.Workers = workers
+	return p
+}
+
+func benchEnsemble(b *testing.B, workers int) []experiments.Sample {
+	b.Helper()
+	p := ensembleProfile(workers)
+	var samples []experiments.Sample
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.ProductionEnsemble(p, apps.MILC{}, p.NodesMedium,
+			[]routing.Mode{routing.AD0, routing.AD3}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		samples = s
+	}
+	return samples
+}
+
+// BenchmarkEnsembleSequential and BenchmarkEnsembleParallel measure the
+// same MILC production campaign with 1 worker and with all CPUs; compare
+// with `go test -bench=BenchmarkEnsemble`. The parallel run's merged
+// output is checked against the sequential result inside
+// BenchmarkEnsembleParallel, so the speedup never comes at the cost of
+// determinism.
+func BenchmarkEnsembleSequential(b *testing.B) {
+	benchEnsemble(b, 1)
+}
+
+func BenchmarkEnsembleParallel(b *testing.B) {
+	par := benchEnsemble(b, runtime.NumCPU())
+	b.StopTimer()
+	p := ensembleProfile(1)
+	seq, err := experiments.ProductionEnsemble(p, apps.MILC{}, p.NodesMedium,
+		[]routing.Mode{routing.AD0, routing.AD3}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		b.Fatal("parallel ensemble diverged from sequential result")
+	}
+}
 
 // The Table II production campaign feeds six benchmarks (as it does six
 // artifacts in cmd/reproduce); it is memoized per seed so a full

@@ -3,11 +3,15 @@
 //
 // Usage:
 //
-//	reproduce [-profile quick|standard] [-exp all|fig1|table1|fig2|...] [-seed N] [-out DIR]
+//	reproduce [-profile quick|standard] [-exp all|fig1|table1|fig2|...] [-seed N] [-j N] [-out DIR]
 //
 // With -out set, each experiment's output is also written to
 // DIR/<exp>.txt. Figures 2/5/6/7/8 are derived from the Table II
 // production campaign, so requesting any of them runs that campaign once.
+//
+// -j sets how many runs execute concurrently (default: all CPUs). Each
+// worker simulates on its own machine instance and results are merged in
+// seed order, so the output is identical for every -j value.
 package main
 
 import (
@@ -15,9 +19,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 )
 
 // renderer produces one experiment's text.
@@ -27,6 +33,7 @@ func main() {
 	profileName := flag.String("profile", "quick", "experiment scale: quick or standard")
 	exp := flag.String("exp", "all", "experiment to run: all, fig1, table1, fig2..fig14, table2")
 	seed := flag.Int64("seed", 1, "base random seed")
+	jobs := flag.Int("j", runtime.NumCPU(), "parallel runs per campaign (output is identical for any value)")
 	out := flag.String("out", "", "directory for text artifacts (optional)")
 	flag.Parse()
 
@@ -40,6 +47,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profileName)
 		os.Exit(2)
 	}
+	p.Workers = parallel.Workers(*jobs)
 
 	// "t2family" regenerates the six artifacts derived from the Table II
 	// production campaign in one pass.

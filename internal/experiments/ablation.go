@@ -7,6 +7,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/mpi"
+	"repro/internal/parallel"
 	"repro/internal/placement"
 	"repro/internal/routing"
 	"repro/internal/sim"
@@ -43,28 +44,33 @@ func (r *AblationResult) Render() string {
 	return b.String()
 }
 
-// ablationRun executes p.Runs production runs of MILC on machine m with
-// the given mode and returns the aggregate point.
-func ablationRun(m *core.Machine, p Profile, mode routing.Mode, label string, seed int64) (AblationPoint, error) {
+// ablationRun executes p.Runs production runs of MILC with the given mode
+// and returns the aggregate point. The seeded runs are independent, so
+// they fan out across the pool; aggregation walks them in run order.
+func ablationRun(mp *machinePool, p Profile, mode routing.Mode, label string, seed int64) (AblationPoint, error) {
+	jobs, err := parallel.Map(mp.workers(), p.Runs,
+		func(worker, i int) (*core.JobResult, error) {
+			spec := core.JobSpec{
+				App:       apps.MILC{},
+				Cfg:       apps.Config{Iterations: p.iterationsFor("MILC"), Scale: p.scaleFor("MILC"), Seed: seed + int64(i)},
+				Nodes:     p.NodesMedium,
+				Placement: placement.Dispersed,
+				Env:       mpi.UniformEnv(mode),
+			}
+			job, _, err := mp.machine(worker).RunOne(spec, core.RunOpts{
+				Seed:       seed + int64(i),
+				Background: core.DefaultBackground(),
+				Warmup:     p.Warmup,
+			})
+			return job, err
+		})
+	if err != nil {
+		return AblationPoint{}, err
+	}
 	var times []float64
 	var stalls, flits float64
 	var nonMin, total uint64
-	for i := 0; i < p.Runs; i++ {
-		spec := core.JobSpec{
-			App:       apps.MILC{},
-			Cfg:       apps.Config{Iterations: p.iterationsFor("MILC"), Scale: p.scaleFor("MILC"), Seed: seed + int64(i)},
-			Nodes:     p.NodesMedium,
-			Placement: placement.Dispersed,
-			Env:       mpi.UniformEnv(mode),
-		}
-		job, _, err := m.RunOne(spec, core.RunOpts{
-			Seed:       seed + int64(i),
-			Background: core.DefaultBackground(),
-			Warmup:     p.Warmup,
-		})
-		if err != nil {
-			return AblationPoint{}, err
-		}
+	for _, job := range jobs {
 		times = append(times, job.Runtime.Seconds())
 		for _, class := range networkClasses {
 			stalls += job.Report.LocalTiles.Stalls[class]
@@ -90,13 +96,16 @@ func ablationRun(m *core.Machine, p Profile, mode routing.Mode, label string, se
 func AblationCandidates(p Profile, mode routing.Mode, seed int64) (*AblationResult, error) {
 	res := &AblationResult{Axis: "routing candidates (minimal/valiant)", App: "MILC", Mode: mode}
 	for _, k := range []int{1, 2, 4} {
-		m, err := p.thetaMachine()
+		k := k
+		mp, err := p.thetaPool()
 		if err != nil {
 			return nil, err
 		}
-		m.Route.MinimalCandidates = k
-		m.Route.NonMinimalCandidates = k
-		pt, err := ablationRun(m, p, mode, fmt.Sprintf("k=%d", k), seed)
+		mp.apply(func(m *core.Machine) {
+			m.Route.MinimalCandidates = k
+			m.Route.NonMinimalCandidates = k
+		})
+		pt, err := ablationRun(mp, p, mode, fmt.Sprintf("k=%d", k), seed)
 		if err != nil {
 			return nil, err
 		}
@@ -111,12 +120,14 @@ func AblationCandidates(p Profile, mode routing.Mode, seed int64) (*AblationResu
 func AblationBufferDepth(p Profile, mode routing.Mode, seed int64) (*AblationResult, error) {
 	res := &AblationResult{Axis: "per-VC buffer depth", App: "MILC", Mode: mode}
 	for _, flits := range []int{256, 768, 3072} {
-		m, err := p.thetaMachine()
+		flits := flits
+		mp, err := p.thetaPool()
 		if err != nil {
 			return nil, err
 		}
-		m.Net.BufferFlits = flits
-		pt, err := ablationRun(m, p, mode, fmt.Sprintf("%dKB", flits*m.Net.FlitBytes/1024), seed)
+		mp.apply(func(m *core.Machine) { m.Net.BufferFlits = flits })
+		pt, err := ablationRun(mp, p, mode,
+			fmt.Sprintf("%dKB", flits*mp.machine(0).Net.FlitBytes/1024), seed)
 		if err != nil {
 			return nil, err
 		}
@@ -141,13 +152,16 @@ func AblationEstimateQuality(p Profile, mode routing.Mode, seed int64) (*Ablatio
 		{"stale-3us", 3 * sim.Microsecond, 0},
 		{"stale+jitter", 3 * sim.Microsecond, 0.75},
 	} {
-		m, err := p.thetaMachine()
+		c := c
+		mp, err := p.thetaPool()
 		if err != nil {
 			return nil, err
 		}
-		m.Net.LoadStaleness = c.staleness
-		m.Net.LoadJitter = c.jitter
-		pt, err := ablationRun(m, p, mode, c.label, seed)
+		mp.apply(func(m *core.Machine) {
+			m.Net.LoadStaleness = c.staleness
+			m.Net.LoadJitter = c.jitter
+		})
+		pt, err := ablationRun(mp, p, mode, c.label, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -161,16 +175,17 @@ func AblationEstimateQuality(p Profile, mode routing.Mode, seed int64) (*Ablatio
 func AblationProgressiveAD1(p Profile, seed int64) (*AblationResult, error) {
 	res := &AblationResult{Axis: "AD1 progressive bias", App: "MILC", Mode: routing.AD1}
 	for _, progressive := range []bool{false, true} {
-		m, err := p.thetaMachine()
+		progressive := progressive
+		mp, err := p.thetaPool()
 		if err != nil {
 			return nil, err
 		}
-		m.Route.Progressive = progressive
+		mp.apply(func(m *core.Machine) { m.Route.Progressive = progressive })
 		label := "fixed-shift"
 		if progressive {
 			label = "progressive"
 		}
-		pt, err := ablationRun(m, p, routing.AD1, label, seed)
+		pt, err := ablationRun(mp, p, routing.AD1, label, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -183,15 +198,15 @@ func AblationProgressiveAD1(p Profile, seed int64) (*AblationResult, error) {
 // MIN/VAL bounds from the dragonfly literature.
 func AblationBaselines(p Profile, seed int64) (*AblationResult, error) {
 	res := &AblationResult{Axis: "routing policy bounds", App: "MILC", Mode: routing.AD0}
+	mp, err := p.thetaPool()
+	if err != nil {
+		return nil, err
+	}
 	for _, mode := range []routing.Mode{
 		routing.MinimalOnly, routing.AD3, routing.AD2, routing.AD1,
 		routing.AD0, routing.ValiantOnly,
 	} {
-		m, err := p.thetaMachine()
-		if err != nil {
-			return nil, err
-		}
-		pt, err := ablationRun(m, p, mode, mode.String(), seed)
+		pt, err := ablationRun(mp, p, mode, mode.String(), seed)
 		if err != nil {
 			return nil, err
 		}

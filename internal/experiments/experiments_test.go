@@ -1,17 +1,38 @@
 package experiments
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 
 	"repro/internal/routing"
+	"repro/internal/sim"
 )
 
 // testProfile is the bench-scale profile, which is the smallest that
-// still drives every harness end to end.
+// still drives every harness end to end. It fans runs out over all CPUs:
+// output is identical for any worker count (see determinism_test.go), and
+// running the whole suite through the pool keeps the parallel paths under
+// the race detector in CI.
+//
+// Under -short the campaigns shrink further (fewer runs and iterations,
+// shorter windows): the race detector multiplies DES cost by roughly an
+// order of magnitude, so CI's `go test -race -short` pass exercises every
+// harness and the full parallel machinery without full-scale campaigns.
 func testProfile() Profile {
 	p := Bench()
 	p.Name = "test"
+	p.Workers = runtime.NumCPU()
+	if testing.Short() {
+		p.Runs = 1
+		p.CampaignWindow = 6 * sim.Millisecond
+		p.LDMSPeriod = 2 * sim.Millisecond
+		for app, n := range p.Iterations {
+			if n > 1 {
+				p.Iterations[app] = (n + 1) / 2
+			}
+		}
+	}
 	return p
 }
 

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 	"strings"
 
 	"repro/internal/stats"
@@ -20,25 +19,30 @@ type Fig1Result struct {
 }
 
 // Fig1JobSizes synthesizes a campaign from the Theta job mix and computes
-// the Fig. 1 CCDF.
+// the Fig. 1 CCDF. One explicit stream drives the whole figure: the CCDF
+// and the 128-512 band share come from the same draw rather than replaying
+// a re-seeded generator's sequence.
 func Fig1JobSizes(p Profile, seed int64) *Fig1Result {
 	mix := workload.ThetaMix()
 	nJobs := 2000 * (p.Runs + 1)
-	rng := rand.New(rand.NewSource(seed))
-	ccdf := mix.CoreHourCCDF(nJobs, rng)
-
-	// Empirical core-hour share of the 128-512 band from the same draw.
-	rng = rand.New(rand.NewSource(seed))
+	rng := runStream(seed, saltJobMix)
+	sizes := make([]float64, nJobs)
+	hours := make([]float64, nJobs)
 	in, total := 0.0, 0.0
 	for i := 0; i < nJobs; i++ {
 		nodes, dur := mix.SampleJob(rng)
 		ch := float64(nodes) * dur.Seconds()
+		sizes[i], hours[i] = float64(nodes), ch
 		total += ch
 		if nodes >= 128 && nodes <= 512 {
 			in += ch
 		}
 	}
-	return &Fig1Result{CCDF: ccdf, Frac128to512: in / total, Jobs: nJobs}
+	return &Fig1Result{
+		CCDF:         stats.WeightedCCDF(sizes, hours),
+		Frac128to512: in / total,
+		Jobs:         nJobs,
+	}
 }
 
 // Render prints the CCDF series (the paper's Fig. 1 curve).

@@ -44,14 +44,14 @@ type Fig2Result struct {
 
 // Fig2MILCRuntimePDF runs the production campaigns and builds the PDFs.
 func Fig2MILCRuntimePDF(p Profile, seed int64) (*Fig2Result, error) {
-	m, err := p.thetaMachine()
+	mp, err := p.thetaPool()
 	if err != nil {
 		return nil, err
 	}
 	res := &Fig2Result{Nodes: p.NodesMedium, PerApp: map[string]map[routing.Mode]ModeStats{}}
 	modes := []routing.Mode{routing.AD0, routing.AD3}
 	for _, a := range []apps.App{apps.MILC{}, apps.MILC{Reorder: true}} {
-		samples, err := productionSamples(m, p, a, p.NodesMedium, modes, seed)
+		samples, err := productionSamples(mp, p, a, p.NodesMedium, modes, seed)
 		if err != nil {
 			return nil, err
 		}

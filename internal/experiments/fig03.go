@@ -6,7 +6,6 @@ import (
 	"strings"
 
 	"repro/internal/apps"
-	"repro/internal/core"
 	"repro/internal/routing"
 	"repro/internal/stats"
 )
@@ -33,17 +32,17 @@ type Fig3Result struct {
 
 // Fig3GroupsSpanned runs the production campaigns at all three sizes.
 func Fig3GroupsSpanned(p Profile, seed int64) (*Fig3Result, error) {
-	m, err := p.thetaMachine()
+	mp, err := p.thetaPool()
 	if err != nil {
 		return nil, err
 	}
-	return groupsSpannedStudy(m, "Theta", p,
+	return groupsSpannedStudy(mp, "Theta", p,
 		[]apps.App{apps.MILC{}, apps.MILC{Reorder: true}},
 		[]int{p.NodesSmall, p.NodesMedium, p.NodesLarge}, seed)
 }
 
 // groupsSpannedStudy is shared with Fig. 4 (Cori).
-func groupsSpannedStudy(m *core.Machine, machine string, p Profile,
+func groupsSpannedStudy(mp *machinePool, machine string, p Profile,
 	appList []apps.App, sizes []int, seed int64) (*Fig3Result, error) {
 
 	res := &Fig3Result{
@@ -58,7 +57,7 @@ func groupsSpannedStudy(m *core.Machine, machine string, p Profile,
 		res.Points[a.Name()] = map[int][]GroupsPoint{}
 		res.MeanImprovement[a.Name()] = map[int]float64{}
 		for _, nodes := range sizes {
-			samples, err := productionSamples(m, p, a, nodes, modes, seed+int64(nodes))
+			samples, err := productionSamples(mp, p, a, nodes, modes, seed+int64(nodes))
 			if err != nil {
 				return nil, err
 			}

@@ -9,11 +9,11 @@ import (
 // cables per group pair vs Theta's 12) makes minimal bias matter even at
 // the large size. The result type is shared with Fig. 3.
 func Fig4CoriGroupsSpanned(p Profile, seed int64) (*Fig3Result, error) {
-	m, err := p.coriMachine()
+	mp, err := p.coriPool()
 	if err != nil {
 		return nil, err
 	}
-	res, err := groupsSpannedStudy(m, "Cori", p,
+	res, err := groupsSpannedStudy(mp, "Cori", p,
 		[]apps.App{apps.MILC{}},
 		[]int{p.NodesSmall, p.CoriNodesMedium, p.NodesLarge}, seed)
 	if err != nil {

@@ -60,11 +60,11 @@ func breakdownFromSamples(app, figure string, dominant []string, samples []Sampl
 // Compute, MPI_Allreduce, MPI_Wait(all), MPI_Isend and other MPI, one bar
 // per production run, AD0 vs AD3.
 func Fig5MILCBreakdown(p Profile, seed int64) (*BreakdownResult, error) {
-	m, err := p.thetaMachine()
+	mp, err := p.thetaPool()
 	if err != nil {
 		return nil, err
 	}
-	samples, err := productionSamples(m, p, milcApp(), p.NodesMedium,
+	samples, err := productionSamples(mp, p, milcApp(), p.NodesMedium,
 		[]routing.Mode{routing.AD0, routing.AD3}, seed)
 	if err != nil {
 		return nil, err

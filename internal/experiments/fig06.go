@@ -23,11 +23,11 @@ type Fig6Result struct {
 // Fig6MILCTileRatios runs the MILC production campaign and collects the
 // per-class tile counter ratios from the AutoPerf reports.
 func Fig6MILCTileRatios(p Profile, seed int64) (*Fig6Result, error) {
-	m, err := p.thetaMachine()
+	mp, err := p.thetaPool()
 	if err != nil {
 		return nil, err
 	}
-	samples, err := productionSamples(m, p, milcApp(), p.NodesMedium,
+	samples, err := productionSamples(mp, p, milcApp(), p.NodesMedium,
 		[]routing.Mode{routing.AD0, routing.AD3}, seed)
 	if err != nil {
 		return nil, err

@@ -5,6 +5,8 @@ import (
 	"strings"
 
 	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/placement"
 	"repro/internal/routing"
 	"repro/internal/stats"
@@ -25,9 +27,13 @@ type Fig9Result struct {
 }
 
 // Fig9ControlledAllModes runs the ensembles: for each app and each mode,
-// `EnsembleMedium` simultaneous jobs, half compact, half dispersed.
+// `EnsembleMedium` simultaneous jobs, half compact, half dispersed. The
+// per-(mode, policy) reservations are independent machine runs, so each
+// app's eight ensembles fan out across the worker pool; aggregation walks
+// the results in the original nesting order, keeping output identical to
+// the sequential sweep.
 func Fig9ControlledAllModes(p Profile, seed int64) (*Fig9Result, error) {
-	m, err := p.thetaMachine()
+	mp, err := p.thetaPool()
 	if err != nil {
 		return nil, err
 	}
@@ -38,27 +44,32 @@ func Fig9ControlledAllModes(p Profile, seed int64) (*Fig9Result, error) {
 		Spread: map[routing.Mode]float64{},
 	}
 	modes := []routing.Mode{routing.AD0, routing.AD1, routing.AD2, routing.AD3}
+	policies := []placement.Policy{placement.Compact, placement.Dispersed}
+	count := p.EnsembleMedium / 2
+	if count < 1 {
+		count = 1
+	}
 	// Per app: run each mode's ensemble, collect raw runtimes, z-score
 	// per app over all modes pooled.
 	for _, a := range []apps.App{apps.MILC{}, apps.Nek5000{}, apps.Qbox{}} {
+		a := a
+		runs, err := parallel.Map(mp.workers(), len(modes)*len(policies),
+			func(worker, idx int) (*core.RunResult, error) {
+				mi, policy := idx/len(policies), policies[idx%len(policies)]
+				return ensembleRun(mp.machine(worker), p, a, count, p.NodesMedium,
+					modes[mi], policy, seed+int64(mi)*101, nil)
+			})
+		if err != nil {
+			return nil, err
+		}
 		perMode := map[routing.Mode][]float64{}
 		var pool []float64
-		for mi, mode := range modes {
-			for _, policy := range []placement.Policy{placement.Compact, placement.Dispersed} {
-				count := p.EnsembleMedium / 2
-				if count < 1 {
-					count = 1
-				}
-				run, err := ensembleRun(m, p, a, count, p.NodesMedium, mode, policy,
-					seed+int64(mi)*101, nil)
-				if err != nil {
-					return nil, err
-				}
-				for _, j := range run.Jobs {
-					v := j.Runtime.Seconds()
-					perMode[mode] = append(perMode[mode], v)
-					pool = append(pool, v)
-				}
+		for idx, run := range runs {
+			mode := modes[idx/len(policies)]
+			for _, j := range run.Jobs {
+				v := j.Runtime.Seconds()
+				perMode[mode] = append(perMode[mode], v)
+				pool = append(pool, v)
 			}
 		}
 		mean, std := stats.MeanStd(pool)

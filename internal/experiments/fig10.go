@@ -5,8 +5,10 @@ import (
 	"strings"
 
 	"repro/internal/apps"
+	"repro/internal/core"
 	"repro/internal/ldms"
 	"repro/internal/network"
+	"repro/internal/parallel"
 	"repro/internal/placement"
 	"repro/internal/routing"
 	"repro/internal/stats"
@@ -52,7 +54,7 @@ func Fig12HACCEnsembleCounters(p Profile, seed int64) (*Fig10Result, error) {
 }
 
 func ensembleCounterStudy(p Profile, a apps.App, figure string, count, nodes int, seed int64) (*Fig10Result, error) {
-	m, err := p.thetaMachine()
+	mp, err := p.thetaPool()
 	if err != nil {
 		return nil, err
 	}
@@ -60,12 +62,21 @@ func ensembleCounterStudy(p Profile, a apps.App, figure string, count, nodes int
 		App: a.Name(), Figure: figure, Jobs: count, Nodes: nodes,
 		PerMode: map[routing.Mode]EnsembleCounters{},
 	}
-	for _, mode := range []routing.Mode{routing.AD0, routing.AD3} {
-		run, err := ensembleRun(m, p, a, count, nodes, mode, placement.Dispersed, seed,
-			&ldms.Options{Period: p.LDMSPeriod, RecordRouterRatios: true})
-		if err != nil {
-			return nil, err
-		}
+	modes := []routing.Mode{routing.AD0, routing.AD3}
+	// The two modes' ensembles are independent whole-machine runs; fan
+	// them out and aggregate in mode order.
+	runs, err := parallel.Map(mp.workers(), len(modes),
+		func(worker, idx int) (*core.RunResult, error) {
+			return ensembleRun(mp.machine(worker), p, a, count, nodes,
+				modes[idx], placement.Dispersed, seed,
+				&ldms.Options{Period: p.LDMSPeriod, RecordRouterRatios: true})
+		})
+	if err != nil {
+		return nil, err
+	}
+	for idx, mode := range modes {
+		run := runs[idx]
+		m := mp.machine(0)
 		mean := 0.0
 		for _, j := range run.Jobs {
 			mean += j.Runtime.Seconds()

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/placement"
 	"repro/internal/routing"
 	"repro/internal/stats"
@@ -27,18 +29,23 @@ type Fig11Result struct {
 	Ratios map[routing.Mode]map[string][]float64
 }
 
-// Fig11RegimeComparison runs all three regimes for both modes.
+// Fig11RegimeComparison runs all three regimes for both modes. Within a
+// mode the production campaign, the isolated runs, and the two controlled
+// ensembles each fan their independent runs across the worker pool;
+// pooling walks results in run order, so output matches the sequential
+// sweep exactly.
 func Fig11RegimeComparison(p Profile, seed int64) (*Fig11Result, error) {
-	m, err := p.thetaMachine()
+	mp, err := p.thetaPool()
 	if err != nil {
 		return nil, err
 	}
 	res := &Fig11Result{Nodes: p.NodesMedium, Ratios: map[routing.Mode]map[string][]float64{}}
 	for _, mode := range []routing.Mode{routing.AD0, routing.AD3} {
+		mode := mode
 		res.Ratios[mode] = map[string][]float64{}
 
 		// Production: noisy machine.
-		prod, err := productionSamples(m, p, milcApp(), p.NodesMedium,
+		prod, err := productionSamples(mp, p, milcApp(), p.NodesMedium,
 			[]routing.Mode{mode}, seed)
 		if err != nil {
 			return nil, err
@@ -49,30 +56,37 @@ func Fig11RegimeComparison(p Profile, seed int64) (*Fig11Result, error) {
 		}
 
 		// Isolated: one job alone.
-		for i := 0; i < p.Runs; i++ {
-			s, err := isolatedSample(m, p, milcApp(), p.NodesMedium, mode,
-				placement.Dispersed, seed+int64(i))
-			if err != nil {
-				return nil, err
-			}
+		iso, err := parallel.Map(mp.workers(), p.Runs,
+			func(worker, i int) (Sample, error) {
+				return isolatedSample(mp.machine(worker), p, milcApp(), p.NodesMedium,
+					mode, placement.Dispersed, seed+int64(i))
+			})
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range iso {
 			res.Ratios[mode][RegimeIsolated] = append(res.Ratios[mode][RegimeIsolated],
 				networkTileRatios(s)...)
 		}
 
 		// Controlled: ensembles of the same app, compact and disperse.
-		for _, rc := range []struct {
+		regimes := []struct {
 			regime string
 			policy placement.Policy
 		}{
 			{RegimeControlledCompact, placement.Compact},
 			{RegimeControlledDisperse, placement.Dispersed},
-		} {
-			run, err := ensembleRun(m, p, milcApp(), p.EnsembleMedium, p.NodesMedium,
-				mode, rc.policy, seed+977, nil)
-			if err != nil {
-				return nil, err
-			}
-			for _, j := range run.Jobs {
+		}
+		runs, err := parallel.Map(mp.workers(), len(regimes),
+			func(worker, idx int) (*core.RunResult, error) {
+				return ensembleRun(mp.machine(worker), p, milcApp(), p.EnsembleMedium,
+					p.NodesMedium, mode, regimes[idx].policy, seed+977, nil)
+			})
+		if err != nil {
+			return nil, err
+		}
+		for idx, rc := range regimes {
+			for _, j := range runs[idx].Jobs {
 				for _, class := range networkClasses {
 					res.Ratios[mode][rc.regime] = append(res.Ratios[mode][rc.regime],
 						j.Report.LocalTileRatios[class]...)

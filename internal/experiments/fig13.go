@@ -8,6 +8,7 @@ import (
 	"repro/internal/ldms"
 	"repro/internal/mpi"
 	"repro/internal/network"
+	"repro/internal/parallel"
 	"repro/internal/routing"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -35,29 +36,33 @@ type Fig13Result struct {
 
 // Fig13DefaultSwitch reproduces the paper's Fig. 13 (and collects the
 // Fig. 14 latency samples): two production campaigns with every job on
-// the machine using the era's default mode — AD0 before, AD3 after.
+// the machine using the era's default mode — AD0 before, AD3 after. The
+// eras are independent whole-machine campaigns and fan out across the
+// worker pool; results are stored in era order.
 func Fig13DefaultSwitch(p Profile, seed int64) (*Fig13Result, error) {
-	m, err := p.thetaMachine()
+	mp, err := p.thetaPool()
 	if err != nil {
 		return nil, err
 	}
 	res := &Fig13Result{}
-	for _, era := range []struct {
+	eras := []struct {
 		mode routing.Mode
 		dst  *CampaignWindowStats
 	}{
 		{routing.AD0, &res.Before},
 		{routing.AD3, &res.After},
-	} {
+	}
+	err = parallel.ForEach(mp.workers(), len(eras), func(worker, idx int) error {
+		era := eras[idx]
 		bg := core.DefaultBackground()
 		bg.Env = mpi.UniformEnv(era.mode)
-		camp, err := m.RunCampaign(p.CampaignWindow, *bg, ldms.Options{
+		camp, err := mp.machine(worker).RunCampaign(p.CampaignWindow, *bg, ldms.Options{
 			Period:             p.LDMSPeriod,
 			RecordRouterRatios: true,
 			RecordNICLatency:   true,
 		}, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		st := CampaignWindowStats{Mode: era.mode, Totals: camp.Global}
 		for _, s := range camp.LDMS.Samples() {
@@ -74,6 +79,10 @@ func Fig13DefaultSwitch(p Profile, seed int64) (*Fig13Result, error) {
 		st.RouterRatios = camp.LDMS.AllRouterRatios()
 		st.NICLatencies = camp.LDMS.AllNICLatencies()
 		*era.dst = st
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

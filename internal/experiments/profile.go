@@ -11,7 +11,6 @@
 package experiments
 
 import (
-	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -49,6 +48,21 @@ type Profile struct {
 	// (the paper: eight 512-node or sixteen 256-node jobs).
 	EnsembleLarge  int
 	EnsembleMedium int
+
+	// Workers is the fan-out for independent seeded runs: each campaign's
+	// runs are distributed over this many OS-level workers, one Machine
+	// per worker (the DES kernel stays single-threaded per run). Results
+	// are merged in seed order, so every value — including <= 1, which
+	// runs strictly sequentially — produces identical output.
+	Workers int
+}
+
+// workers clamps the fan-out to at least one.
+func (p Profile) workers() int {
+	if p.Workers < 1 {
+		return 1
+	}
+	return p.Workers
 }
 
 // Quick returns the smallest profile that still exhibits every effect;
@@ -100,13 +114,14 @@ func Standard() Profile {
 	return p
 }
 
-// machines caches built machines per profile.
-func (p Profile) thetaMachine() (*core.Machine, error) {
-	return core.NewMachine(p.Theta)
+// thetaPool builds one Theta machine per worker for parallel campaigns.
+func (p Profile) thetaPool() (*machinePool, error) {
+	return newMachinePool(p.Theta, p.workers())
 }
 
-func (p Profile) coriMachine() (*core.Machine, error) {
-	return core.NewMachine(p.Cori)
+// coriPool builds one Cori machine per worker.
+func (p Profile) coriPool() (*machinePool, error) {
+	return newMachinePool(p.Cori, p.workers())
 }
 
 // appCfg builds the apps.Config for one app under this profile.

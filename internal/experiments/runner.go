@@ -8,9 +8,63 @@ import (
 	"repro/internal/core"
 	"repro/internal/ldms"
 	"repro/internal/mpi"
+	"repro/internal/parallel"
 	"repro/internal/placement"
 	"repro/internal/routing"
 	"repro/internal/topology"
+)
+
+// machinePool hands each parallel worker its own Machine. core.Machine is
+// read-only during Run, but ablation sweeps tweak Net/Route between runs
+// and one-machine-per-worker keeps the no-shared-mutable-state invariant
+// trivially auditable.
+type machinePool struct {
+	machines []*core.Machine
+}
+
+// newMachinePool builds `workers` identical machines from cfg.
+func newMachinePool(cfg topology.Config, workers int) (*machinePool, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	mp := &machinePool{machines: make([]*core.Machine, workers)}
+	for i := range mp.machines {
+		m, err := core.NewMachine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		mp.machines[i] = m
+	}
+	return mp, nil
+}
+
+// workers returns the pool's fan-out.
+func (mp *machinePool) workers() int { return len(mp.machines) }
+
+// machine returns the Machine owned by one worker slot.
+func (mp *machinePool) machine(worker int) *core.Machine { return mp.machines[worker] }
+
+// apply mutates every worker's machine identically (ablation sweeps).
+func (mp *machinePool) apply(f func(m *core.Machine)) {
+	for _, m := range mp.machines {
+		f(m)
+	}
+}
+
+// runStream builds the explicit per-run random stream for one seed. Every
+// randomized choice outside a Machine.Run derives from such a stream —
+// never from shared or package-level state — so runs stay independent and
+// can execute on any worker in any order without changing their draws.
+func runStream(seed, salt int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed*31 + salt))
+}
+
+// Stream salts keep the per-seed streams of different concerns apart.
+const (
+	// saltGroupSpread drives the placement-spread draw of production runs.
+	saltGroupSpread = 7
+	// saltJobMix drives the Fig. 1 synthetic job-mix campaign.
+	saltJobMix = 13
 )
 
 // Sample is one production-style run observation: the unit of the paper's
@@ -51,40 +105,58 @@ func (p Profile) jobSpec(app apps.App, nodes int, mode routing.Mode,
 	}
 }
 
-// productionSamples runs p.Runs production runs per mode. Run i of every
-// mode shares a seed, so the placement (a fragmented allocation spanning a
-// seed-chosen number of groups) and the background noise are identical
-// across modes — only the instrumented job's routing differs, exactly the
-// paper's production methodology (the rest of the system stays on the
-// default AD0).
-func productionSamples(m *core.Machine, p Profile, app apps.App, nodes int,
+// productionSamples runs p.Runs production runs per mode, fanned out over
+// the pool's workers. Run i of every mode shares a seed, so the placement
+// (a fragmented allocation spanning a seed-chosen number of groups) and
+// the background noise are identical across modes — only the instrumented
+// job's routing differs, exactly the paper's production methodology (the
+// rest of the system stays on the default AD0).
+//
+// Every (run, mode) pair is one independent task on its worker's own
+// Machine; results are merged in (run, mode) order, so the sample slice is
+// identical to what the sequential nested loop produced.
+func productionSamples(mp *machinePool, p Profile, app apps.App, nodes int,
 	modes []routing.Mode, seedBase int64) ([]Sample, error) {
 
-	maxGroups := m.Topo.Cfg.Groups
-	var out []Sample
-	for i := 0; i < p.Runs; i++ {
-		seed := seedBase + int64(i)
-		// Seed-derived target spread: covers 1..maxGroups over the
-		// campaign, like the paper's months of varying allocations.
-		gr := 1 + rand.New(rand.NewSource(seed*31+7)).Intn(maxGroups)
-		for _, mode := range modes {
+	maxGroups := mp.machine(0).Topo.Cfg.Groups
+	return parallel.Map(mp.workers(), p.Runs*len(modes),
+		func(worker, idx int) (Sample, error) {
+			i, mode := idx/len(modes), modes[idx%len(modes)]
+			seed := seedBase + int64(i)
+			// Seed-derived target spread: covers 1..maxGroups over the
+			// campaign, like the paper's months of varying allocations.
+			// The stream is rebuilt per task, so tasks that share a run
+			// seed draw the same spread on any worker.
+			gr := 1 + runStream(seed, saltGroupSpread).Intn(maxGroups)
 			spec := p.jobSpec(app, nodes, mode, placement.Dispersed, gr, seed)
-			job, _, err := m.RunOne(spec, core.RunOpts{
+			job, _, err := mp.machine(worker).RunOne(spec, core.RunOpts{
 				Seed:       seed,
 				Background: core.DefaultBackground(),
 				Warmup:     p.Warmup,
 			})
 			if err != nil {
-				return nil, err
+				return Sample{}, err
 			}
-			out = append(out, Sample{
+			return Sample{
 				App: app.Name(), Mode: mode, Seed: seed,
 				Nodes: nodes, Groups: job.GroupsSpanned,
 				RuntimeSec: job.Runtime.Seconds(), Report: job.Report,
-			})
-		}
+			}, nil
+		})
+}
+
+// ProductionEnsemble is the exported entry to one app's production
+// campaign: p.Runs seeded runs per mode, fanned out over p.Workers
+// workers and merged in seed order. It is what the root-level ensemble
+// benchmarks and the determinism regression tests drive.
+func ProductionEnsemble(p Profile, app apps.App, nodes int,
+	modes []routing.Mode, seedBase int64) ([]Sample, error) {
+
+	mp, err := p.thetaPool()
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return productionSamples(mp, p, app, nodes, modes, seedBase)
 }
 
 // isolatedSample runs one app alone on an otherwise idle machine.

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/apps"
+	"repro/internal/parallel"
 	"repro/internal/placement"
 	"repro/internal/routing"
 )
@@ -34,18 +35,25 @@ var collCalls = []string{"MPI_Allreduce", "MPI_Alltoall", "MPI_Alltoallv", "MPI_
 // included in time ranking, as in AutoPerf's reporting.
 
 // Table1Characterization runs each app isolated at the medium size on the
-// default routing and extracts its communication properties.
+// default routing and extracts its communication properties. The six apps
+// are independent single runs, so they fan out one per worker.
 func Table1Characterization(p Profile, seed int64) (*Table1Result, error) {
-	m, err := p.thetaMachine()
+	mp, err := p.thetaPool()
 	if err != nil {
 		return nil, err
 	}
 	res := &Table1Result{Nodes: p.NodesMedium}
-	for _, a := range apps.All() {
-		s, err := isolatedSample(m, p, a, p.NodesMedium, routing.AD0, placement.Compact, seed)
-		if err != nil {
-			return nil, err
-		}
+	all := apps.All()
+	samples, err := parallel.Map(mp.workers(), len(all),
+		func(worker, idx int) (Sample, error) {
+			return isolatedSample(mp.machine(worker), p, all[idx],
+				p.NodesMedium, routing.AD0, placement.Compact, seed)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range all {
+		s := samples[i]
 		prof := s.Report.Profile
 		row := Table1Row{App: a.Name(), MPIPercent: 100 * s.Report.MPIFraction()}
 		var p2pBytes, p2pCallsN, collBytes, collCallsN uint64

@@ -33,14 +33,14 @@ type Table2Result struct {
 // Table2AllApps runs the production campaign for every application at the
 // medium size under AD0 and AD3.
 func Table2AllApps(p Profile, seed int64) (*Table2Result, error) {
-	m, err := p.thetaMachine()
+	mp, err := p.thetaPool()
 	if err != nil {
 		return nil, err
 	}
 	res := &Table2Result{Nodes: p.NodesMedium}
 	modes := []routing.Mode{routing.AD0, routing.AD3}
 	for _, a := range apps.All() {
-		samples, err := productionSamples(m, p, a, p.NodesMedium, modes, seed)
+		samples, err := productionSamples(mp, p, a, p.NodesMedium, modes, seed)
 		if err != nil {
 			return nil, err
 		}

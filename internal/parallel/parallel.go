@@ -1,0 +1,88 @@
+// Package parallel fans independent, seeded simulation runs out across a
+// fixed-size worker pool. The discrete-event kernel stays strictly
+// single-threaded within one run; parallelism exists only BETWEEN runs,
+// which share no mutable state (each worker owns its own core.Machine).
+// Results are merged in task-index order, so parallel output is identical
+// — byte for byte — to what the equivalent sequential loop produces.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a -j style request: values below 1 mean "one worker
+// per available CPU" (GOMAXPROCS, which tracks runtime.NumCPU unless
+// overridden).
+func Workers(j int) int {
+	if j < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return j
+}
+
+// Map runs fn(worker, index) for every index in [0, n) using at most
+// `workers` concurrent goroutines and returns the results ordered by
+// index. `worker` identifies which pool slot (0..workers-1) is executing
+// the call — use it to select per-worker state such as a Machine, so
+// concurrent tasks never share one. fn must depend only on its arguments
+// (plus per-worker state) for the sequential/parallel equivalence to
+// hold.
+//
+// All n tasks are attempted even if some fail; the error of the lowest
+// failing index is returned, matching what a sequential loop would have
+// reported first. With workers <= 1 the tasks run inline on the calling
+// goroutine in index order.
+func Map[T any](workers, n int, fn func(worker, index int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(0, i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				// Distinct goroutines write disjoint indices, so the
+				// result and error slices need no locking.
+				out[i], errs[i] = fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ForEach is Map for tasks with no result value.
+func ForEach(workers, n int, fn func(worker, index int) error) error {
+	_, err := Map(workers, n, func(worker, index int) (struct{}, error) {
+		return struct{}{}, fn(worker, index)
+	})
+	return err
+}

@@ -1,0 +1,126 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16, 100} {
+		got, err := Map(workers, 50, func(worker, index int) (int, error) {
+			return index * index, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 50 {
+			t.Fatalf("workers=%d: len=%d", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d]=%d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapParallelMatchesSequential(t *testing.T) {
+	run := func(workers int) []string {
+		out, err := Map(workers, 37, func(worker, index int) (string, error) {
+			return fmt.Sprintf("task-%03d", index), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq, par := run(1), run(8)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("index %d: sequential %q != parallel %q", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	for _, workers := range []int{1, 8} {
+		_, err := Map(workers, 20, func(worker, index int) (int, error) {
+			switch index {
+			case 3:
+				return 0, errLow
+			case 17:
+				return 0, errHigh
+			}
+			return index, nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("workers=%d: err=%v, want %v", workers, err, errLow)
+		}
+	}
+}
+
+func TestMapWorkerIndexStaysInPool(t *testing.T) {
+	const workers = 4
+	var used [workers]atomic.Int64
+	_, err := Map(workers, 200, func(worker, index int) (int, error) {
+		if worker < 0 || worker >= workers {
+			t.Errorf("worker %d out of range", worker)
+		}
+		used[worker].Add(1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for i := range used {
+		total += used[i].Load()
+	}
+	if total != 200 {
+		t.Fatalf("tasks executed = %d, want 200", total)
+	}
+}
+
+func TestMapZeroTasks(t *testing.T) {
+	got, err := Map(8, 0, func(worker, index int) (int, error) {
+		t.Error("fn called with no tasks")
+		return 0, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var count atomic.Int64
+	if err := ForEach(4, 25, func(worker, index int) error {
+		count.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 25 {
+		t.Fatalf("count = %d", count.Load())
+	}
+	boom := errors.New("boom")
+	if err := ForEach(4, 5, func(worker, index int) error {
+		if index == 2 {
+			return boom
+		}
+		return nil
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Error("explicit count not honored")
+	}
+	if Workers(0) < 1 || Workers(-5) < 1 {
+		t.Error("defaulted worker count must be positive")
+	}
+}
