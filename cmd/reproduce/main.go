@@ -4,6 +4,7 @@
 // Usage:
 //
 //	reproduce [-profile quick|standard] [-exp all|fig1|table1|fig2|...] [-seed N] [-j N] [-out DIR]
+//	          [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //
 // With -out set, each experiment's output is also written to
 // DIR/<exp>.txt. Figures 2/5/6/7/8 are derived from the Table II
@@ -12,6 +13,12 @@
 // -j sets how many runs execute concurrently (default: all CPUs). Each
 // worker simulates on its own machine instance and results are merged in
 // seed order, so the output is identical for every -j value.
+//
+// -cpuprofile / -memprofile / -trace write pprof CPU and heap profiles and
+// a runtime execution trace covering the selected experiments; pair them
+// with -exp to profile one campaign in isolation. The heap profile is
+// written at exit after a forced GC, so it shows live retained memory;
+// inspect with `go tool pprof` / `go tool trace`.
 package main
 
 import (
@@ -20,6 +27,8 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"time"
 
 	"repro/internal/experiments"
@@ -35,7 +44,53 @@ func main() {
 	seed := flag.Int64("seed", 1, "base random seed")
 	jobs := flag.Int("j", runtime.NumCPU(), "parallel runs per campaign (output is identical for any value)")
 	out := flag.String("out", "", "directory for text artifacts (optional)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (live objects after GC) to this file at exit")
+	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		pf, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fatal(err)
+		}
+		atExit(func() {
+			pprof.StopCPUProfile()
+			pf.Close()
+		})
+	}
+	if *traceFile != "" {
+		tf, err := os.Create(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.Start(tf); err != nil {
+			fatal(err)
+		}
+		atExit(func() {
+			trace.Stop()
+			tf.Close()
+		})
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		atExit(func() {
+			mf, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "reproduce:", err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC() // flush dead objects so the profile shows live memory
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintln(os.Stderr, "reproduce:", err)
+			}
+		})
+	}
+	defer runExitHooks()
 
 	var p experiments.Profile
 	switch *profileName {
@@ -217,11 +272,26 @@ func main() {
 
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: all fig1..fig14 table1 table2\n", *exp)
+		runExitHooks()
 		os.Exit(2)
 	}
 }
 
+// exitHooks are profiler/trace finalizers that must flush even on the
+// os.Exit paths (defers don't run there).
+var exitHooks []func()
+
+func atExit(fn func()) { exitHooks = append(exitHooks, fn) }
+
+func runExitHooks() {
+	for i := len(exitHooks) - 1; i >= 0; i-- {
+		exitHooks[i]()
+	}
+	exitHooks = nil
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "reproduce:", err)
+	runExitHooks()
 	os.Exit(1)
 }

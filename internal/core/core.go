@@ -140,6 +140,11 @@ type RunResult struct {
 	// mechanism (microseconds; counts in thousands).
 	MinTransitUS, NonMinTransitUS float64
 	MinCountK, NonMinCountK       uint64
+	// Pool reports the fabric's packet-arena activity: Arena is the
+	// high-water mark of simultaneously live packets, and Recycled/
+	// Allocated shows how completely the zero-allocation hot path reused
+	// packets instead of growing the heap.
+	Pool network.PoolStats
 }
 
 // Run executes the instrumented jobs (simultaneously) with optional
@@ -226,6 +231,7 @@ func (m *Machine) Run(specs []JobSpec, opts RunOpts) (*RunResult, error) {
 		MinimalTaken:     fab.MinimalTaken,
 		NonMinimalTaken:  fab.NonMinimalTaken,
 		EventsExecuted:   k.Stats().EventsExecuted,
+		Pool:             fab.PoolStats(),
 	}
 	if fab.MinimalCount > 0 {
 		res.MinTransitUS = (fab.MinimalTransit / sim.Time(fab.MinimalCount)).Seconds() * 1e6

@@ -52,6 +52,15 @@ func TestRunIsolated(t *testing.T) {
 	if res.PacketsDelivered < res.PacketsSent {
 		t.Fatalf("delivered %d < sent %d", res.PacketsDelivered, res.PacketsSent)
 	}
+	// Pool telemetry plumbed up from the fabric: the run recycles packets
+	// (steady state reuses the arena) and drains completely (every arena
+	// slot back on the free list).
+	if res.Pool.Recycled == 0 {
+		t.Fatalf("pool never recycled: %+v", res.Pool)
+	}
+	if res.Pool.Free != res.Pool.Arena {
+		t.Fatalf("pool leaked %d packets: %+v", res.Pool.Arena-res.Pool.Free, res.Pool)
+	}
 }
 
 func TestRunDeterministic(t *testing.T) {

@@ -49,3 +49,28 @@ func BenchmarkAdaptiveRoute(b *testing.B) {
 		_ = eng.Route(routing.AD0, rng, src, dst, 0)
 	}
 }
+
+// BenchmarkRouteInto measures the same routing decision through the
+// zero-allocation entry the fabric's hot path uses: engine scratch plus a
+// reused caller buffer. Run with -benchmem: this must report 0 allocs/op;
+// the gap to BenchmarkAdaptiveRoute is the cost of materializing a fresh
+// Path per decision.
+func BenchmarkRouteInto(b *testing.B) {
+	topo, err := topology.Build(topology.ThetaMiniConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := sim.NewKernel()
+	f := New(k, topo, DefaultParams(), routing.DefaultConfig(), 1)
+	rng := rand.New(rand.NewSource(3))
+	eng := routing.NewEngine(topo, f, routing.DefaultConfig())
+	nr := topo.NumRouters()
+	buf := make([]topology.LinkID, 0, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := topology.RouterID(rng.Intn(nr))
+		dst := topology.RouterID(rng.Intn(nr))
+		buf, _ = eng.RouteInto(buf[:0], routing.AD0, rng, src, dst, 0)
+	}
+}

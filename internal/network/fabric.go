@@ -56,6 +56,11 @@ type Params struct {
 	// An idle link always reads zero, so all biases agree on an idle
 	// network (Section II-D: non-minimal is harmless only at low load).
 	LoadJitter float64
+	// NoRecycle disables the packet free list: every packet is a fresh
+	// allocation, as before pooling existed. Testing knob only — the
+	// pool property tests run pooled and non-pooled fabrics side by side
+	// and require identical observable behaviour.
+	NoRecycle bool
 }
 
 // DefaultParams returns the parameters used across the reproduction.
@@ -94,16 +99,17 @@ type server struct {
 	link *topology.Link  // nil for NIC servers
 	node topology.NodeID // NIC servers: the node served
 	kind serverKind
+	idx  int32 // position in Fabric.servers; typed-event payload
 
 	bw       float64  // bytes/second
 	lat      sim.Time // propagation after serialization
 	flitTime sim.Time // one flit period at bw
 
-	queues   [][]*Packet // per VC
-	occ      []int       // buffered flits per VC
-	occTotal int         // sum of occ (cached for O(1) load estimates)
-	nonEmpty uint32      // bitmask of VCs with queued packets
-	capFlits int         // per-VC capacity; 0 = unbounded (injection)
+	queues   []pktQueue // per VC
+	occ      []int      // buffered flits per VC
+	occTotal int        // sum of occ (cached for O(1) load estimates)
+	nonEmpty uint32     // bitmask of VCs with queued packets
+	capFlits int        // per-VC capacity; 0 = unbounded (injection)
 
 	busy    bool
 	lastVC  int // round-robin arbitration pointer
@@ -121,8 +127,14 @@ type server struct {
 	loadSampleAt sim.Time
 	loadIntMark  float64
 
-	waiters   []*server            // upstream servers waiting for space here
-	waitingOn map[*server]struct{} // downstream servers we are registered with
+	// Backpressure bookkeeping (see pool.go): waiters is the list of
+	// upstream servers blocked on space here; waking is the snapshot a
+	// pending batched wake will flush; wakeGen invalidates waitingOn
+	// registrations wholesale on each flush.
+	waiters   []*server
+	waking    []*server
+	wakeGen   uint64
+	waitingOn []waitReg // downstream servers we are registered with
 }
 
 // queued reports whether any VC holds a packet.
@@ -131,7 +143,7 @@ func (s *server) queued() bool { return s.nonEmpty != 0 }
 // pushPacket appends p to VC vc's queue (buffer space must already be
 // accounted via occ/occTotal).
 func (s *server) pushPacket(vc int, p *Packet) {
-	s.queues[vc] = append(s.queues[vc], p)
+	s.queues[vc].push(p)
 	s.nonEmpty |= 1 << uint(vc)
 }
 
@@ -146,15 +158,24 @@ type Fabric struct {
 	links    []*server // by LinkID
 	inject   []*server // by NodeID
 	eject    []*server // by NodeID
+	servers  []*server // all of the above, by server.idx (typed-event lookup)
+	hid      sim.HandlerID
 	counters *Counters
 
 	numVC int
+	pool  packetPool
 
 	// Monotonic whole-fabric statistics.
 	PacketsSent      uint64
 	PacketsDelivered uint64
 	MinimalTaken     uint64
 	NonMinimalTaken  uint64
+	// dataDelivered counts delivered data (non-response) packets; it is
+	// the response-sampling clock, deliberately excluding responses so
+	// ResponseEvery=N samples exactly 1 in N data packets (gating on
+	// PacketsDelivered would let delivered responses advance the clock
+	// and skew the sampling rate).
+	dataDelivered uint64
 
 	// Network transit time (injection-head to delivery, excluding the
 	// injection queue wait) split by route class, data packets only.
@@ -178,6 +199,7 @@ func New(k *sim.Kernel, topo *topology.Topology, params Params, engineCfg routin
 		numVC:  12, // max hops on any route (10) with slack
 	}
 	f.engine = routing.NewEngine(topo, f, engineCfg)
+	f.hid = k.RegisterHandler(f)
 	f.counters = NewCounters(topo)
 
 	f.links = make([]*server, len(topo.Links))
@@ -187,7 +209,7 @@ func New(k *sim.Kernel, topo *topology.Topology, params Params, engineCfg routin
 			fab: f, link: l, kind: kindLink,
 			bw: l.Bandwidth, lat: l.Latency,
 			flitTime: sim.Time(float64(params.FlitBytes) / l.Bandwidth * 1e12),
-			queues:   make([][]*Packet, f.numVC),
+			queues:   make([]pktQueue, f.numVC),
 			occ:      make([]int, f.numVC),
 			capFlits: params.BufferFlits,
 		}
@@ -201,18 +223,96 @@ func New(k *sim.Kernel, topo *topology.Topology, params Params, engineCfg routin
 			fab: f, node: topology.NodeID(n), kind: kindInject,
 			bw: topo.Cfg.InjectionBandwidth, lat: topo.Cfg.NICLatency,
 			flitTime: injFlit,
-			queues:   make([][]*Packet, 1), occ: make([]int, 1),
+			queues:   make([]pktQueue, 1), occ: make([]int, 1),
 			capFlits: 0, // unbounded: host memory
 		}
 		f.eject[n] = &server{
 			fab: f, node: topology.NodeID(n), kind: kindEject,
 			bw: topo.Cfg.InjectionBandwidth, lat: topo.Cfg.NICLatency,
 			flitTime: injFlit,
-			queues:   make([][]*Packet, 1), occ: make([]int, 1),
+			queues:   make([]pktQueue, 1), occ: make([]int, 1),
 			capFlits: params.BufferFlits,
 		}
 	}
+	f.servers = make([]*server, 0, len(f.links)+2*slots)
+	for _, s := range f.links {
+		f.servers = append(f.servers, s)
+	}
+	for n := 0; n < slots; n++ {
+		f.servers = append(f.servers, f.inject[n], f.eject[n])
+	}
+	for i, s := range f.servers {
+		s.idx = int32(i)
+	}
+
+	// Pre-size every hot-path growth surface out of shared slabs so the
+	// steady state starts at construction: without this, each (server,VC)
+	// queue and waiter list grows lazily through the 1→2→4→8 append
+	// doublings the first time traffic touches it, and those cold-path
+	// allocations show up as a long decaying tail in the per-packet
+	// allocation gate. Three-index slicing caps each sub-slice so an
+	// append past its slot copies out of the slab instead of stomping its
+	// neighbor.
+	const (
+		queueSlots  = 8 // initial packets per VC queue
+		waiterSlots = 8 // initial blocked-upstream entries per server
+	)
+	nq := 0
+	for _, s := range f.servers {
+		nq += len(s.queues)
+	}
+	qslab := make([]*Packet, nq*queueSlots)
+	off := 0
+	for _, s := range f.servers {
+		for vc := range s.queues {
+			s.queues[vc].buf = qslab[off:off : off+queueSlots]
+			off += queueSlots
+		}
+	}
+	wslab := make([]*server, 2*len(f.servers)*waiterSlots)
+	rslab := make([]waitReg, len(f.servers)*waiterSlots)
+	for i, s := range f.servers {
+		wo := 2 * i * waiterSlots
+		s.waiters = wslab[wo:wo : wo+waiterSlots]
+		s.waking = wslab[wo+waiterSlots : wo+waiterSlots : wo+2*waiterSlots]
+		ro := i * waiterSlots
+		s.waitingOn = rslab[ro:ro : ro+waiterSlots]
+	}
 	return f
+}
+
+// Typed kernel event kinds dispatched through Fabric.HandleEvent. Using
+// the sim.Handler fast path keeps the three per-packet event types —
+// serialization completion, propagation arrival, and the batched
+// backpressure wake — free of closure allocations.
+const (
+	// evFinishTx: serialization at server a completed. The in-flight
+	// packet is the head of the server's arbitration-winning VC
+	// (lastVC), which cannot change while the server is busy.
+	evFinishTx uint8 = iota
+	// evArrive: packet b (arena index) arrives at server a after
+	// propagation; it enters the VC its hop count selects.
+	evArrive
+	// evWake: flush server a's batched waiter snapshot (see pool.go).
+	evWake
+)
+
+// HandleEvent implements sim.Handler: the fabric's allocation-free event
+// dispatch.
+func (f *Fabric) HandleEvent(kind uint8, a, b int64) {
+	switch kind {
+	case evFinishTx:
+		s := f.servers[a]
+		p := s.queues[s.lastVC].front()
+		f.finishTx(s, p, f.next(s, p), s.lastVC)
+	case evArrive:
+		n := f.servers[a]
+		p := f.packetOf(b)
+		n.pushPacket(f.vcForHop(n, p.hop), p)
+		f.tryStart(n)
+	case evWake:
+		f.wakeWaiters(f.servers[a])
+	}
 }
 
 // Kernel returns the fabric's simulation kernel.
@@ -337,10 +437,10 @@ func (f *Fabric) Send(src, dst topology.NodeID, bytes int, mode routing.Mode) *M
 			sz = 1
 		}
 		rem -= sz
-		p := &Packet{
-			src: src, dst: dst, bytes: sz, flits: f.flitsOf(sz),
-			hop: -1, sendTime: f.k.Now(), msg: m,
-		}
+		p := f.allocPacket()
+		p.src, p.dst = src, dst
+		p.bytes, p.flits = sz, f.flitsOf(sz)
+		p.sendTime, p.msg = f.k.Now(), m
 		inj.bumpOcc(0, p.flits, f.k.Now())
 		inj.pushPacket(0, p)
 	}
@@ -350,15 +450,18 @@ func (f *Fabric) Send(src, dst topology.NodeID, bytes int, mode routing.Mode) *M
 }
 
 // routePacket assigns p's route using the adaptive engine and live load.
+// The winning path is appended into the packet's pooled route slice, so
+// only the engine's internal scratch and p's own recycled buffer are
+// touched — no per-decision allocation.
 func (f *Fabric) routePacket(p *Packet, mode routing.Mode) {
 	srcR := f.topo.RouterOfNode(p.src)
 	dstR := f.topo.RouterOfNode(p.dst)
-	path := f.engine.Route(mode, f.rng, srcR, dstR, 0)
-	p.route = path.Links
+	links, nonMin := f.engine.RouteInto(p.route[:0], mode, f.rng, srcR, dstR, 0)
+	p.route = links
 	p.routed = true
 	p.routedAt = f.k.Now()
-	p.nonMin = path.NonMinimal
-	if path.NonMinimal {
+	p.nonMin = nonMin
+	if nonMin {
 		f.NonMinimalTaken++
 		if p.msg != nil {
 			p.msg.nonMin++
@@ -452,18 +555,6 @@ func (f *Fabric) stallTile(s *server, p *Packet) (topology.RouterID, int) {
 	return s.tile(p)
 }
 
-// registerWaiter records that s is waiting for space at n (deduplicated).
-func (f *Fabric) registerWaiter(s, n *server) {
-	if s.waitingOn == nil {
-		s.waitingOn = make(map[*server]struct{}, 4)
-	}
-	if _, ok := s.waitingOn[n]; ok {
-		return
-	}
-	s.waitingOn[n] = struct{}{}
-	n.waiters = append(n.waiters, s)
-}
-
 // tryStart arbitrates s's VC heads round-robin and begins serializing the
 // first one whose downstream buffer has space. If work is queued but
 // nothing can proceed, a stall interval starts.
@@ -477,7 +568,7 @@ func (f *Fabric) tryStart(s *server) {
 		if s.nonEmpty&(1<<uint(vc)) == 0 {
 			continue
 		}
-		p := s.queues[vc][0]
+		p := s.queues[vc].front()
 		if s.kind == kindInject && !p.routed {
 			// Route lazily at the head of the injection queue so the
 			// adaptive decision sees current congestion.
@@ -506,7 +597,9 @@ func (f *Fabric) tryStart(s *server) {
 		s.lastVC = vc
 		s.busy = true
 		ser := sim.Time(float64(p.bytes) / s.bw * 1e12)
-		f.k.After(ser, func() { f.finishTx(s, p, n, vc) })
+		// Typed event: finishTx recovers (p, n, vc) from s itself —
+		// lastVC and the queue head are frozen while the server is busy.
+		f.k.AfterEvent(ser, f.hid, evFinishTx, int64(s.idx), 0)
 		return
 	}
 	// Nothing startable: begin a stall interval if work is queued.
@@ -525,23 +618,15 @@ func (f *Fabric) finishTx(s *server, p *Packet, n *server, vc int) {
 	f.counters.Flits[r][tIdx] += uint64(p.flits)
 
 	// Dequeue and free our input buffer space.
-	s.queues[vc] = s.queues[vc][1:]
-	if len(s.queues[vc]) == 0 {
+	s.queues[vc].pop()
+	if s.queues[vc].empty() {
 		s.nonEmpty &^= 1 << uint(vc)
 	}
 	s.bumpOcc(vc, -p.flits, f.k.Now())
 	s.busy = false
 
-	// Space freed here: wake upstream servers blocked on us.
-	if len(s.waiters) > 0 {
-		ws := s.waiters
-		s.waiters = nil
-		for _, w := range ws {
-			w := w
-			delete(w.waitingOn, s)
-			f.k.After(0, func() { f.tryStart(w) })
-		}
-	}
+	// Space freed here: one batched event wakes every blocked upstream.
+	f.flushWaiters(s)
 
 	if n == nil {
 		f.deliver(p) // ejection complete
@@ -553,10 +638,7 @@ func (f *Fabric) finishTx(s *server, p *Packet, n *server, vc int) {
 			// proportional to its current backlog.
 			delay += sim.Time(hc * float64(n.occTotal) * float64(n.flitTime))
 		}
-		f.k.After(delay, func() {
-			n.pushPacket(f.vcForHop(n, p.hop), p)
-			f.tryStart(n)
-		})
+		f.k.AfterEvent(delay, f.hid, evArrive, int64(n.idx), int64(p.idx))
 	}
 	f.tryStart(s)
 }
@@ -582,6 +664,7 @@ func (f *Fabric) deliver(p *Packet) {
 		// ORB latency sample.
 		f.counters.ORBTimeSum[p.dst] += f.k.Now() - p.sendTime
 		f.counters.ORBCount[p.dst]++
+		f.releasePacket(p)
 		return
 	}
 	m := p.msg
@@ -595,43 +678,30 @@ func (f *Fabric) deliver(p *Packet) {
 			m.Done.Fire(f.k)
 		}
 	}
-	// Generate the tracked response for a sampled subset of requests.
+	// Generate the tracked response for a sampled subset of requests,
+	// clocked on data packets only so the sampling rate holds at exactly
+	// 1 in ResponseEvery.
 	every := f.params.ResponseEvery
 	if every < 1 {
 		every = 1
 	}
-	if f.PacketsDelivered%uint64(every) == 0 {
+	f.dataDelivered++
+	sample := f.dataDelivered%uint64(every) == 0
+	reqSrc, reqDst, reqSent := p.src, p.dst, p.sendTime
+	f.releasePacket(p)
+	if sample {
 		mode := routing.AD0
 		if m != nil {
 			mode = m.Mode
 		}
-		rsp := &Packet{
-			src: p.dst, dst: p.src,
-			bytes: f.params.ResponseBytes, flits: f.flitsOf(f.params.ResponseBytes),
-			hop: -1, response: true, rspMode: mode,
-			sendTime: p.sendTime, // pair latency spans request + response
-		}
-		inj := f.inject[p.dst]
+		rsp := f.allocPacket()
+		rsp.src, rsp.dst = reqDst, reqSrc
+		rsp.bytes, rsp.flits = f.params.ResponseBytes, f.flitsOf(f.params.ResponseBytes)
+		rsp.response, rsp.rspMode = true, mode
+		rsp.sendTime = reqSent // pair latency spans request + response
+		inj := f.inject[reqDst]
 		inj.bumpOcc(0, rsp.flits, f.k.Now())
 		inj.pushPacket(0, rsp)
 		f.tryStart(inj)
 	}
-}
-
-// QueuedFlits returns the total flits currently buffered in the fabric
-// (diagnostic; returns to zero once all traffic has drained).
-func (f *Fabric) QueuedFlits() int {
-	total := 0
-	for _, s := range f.links {
-		for _, o := range s.occ {
-			total += o
-		}
-	}
-	for _, s := range f.inject {
-		total += s.occ[0]
-	}
-	for _, s := range f.eject {
-		total += s.occ[0]
-	}
-	return total
 }

@@ -15,7 +15,15 @@ import (
 
 // Packet is one routed network packet (a chunk of a Message, or a
 // response). Packets are routed independently and adaptively, as on Aries.
+//
+// Packets are pooled: every Packet belongs to its Fabric's arena and is
+// recycled at delivery (see pool.go). Model code must not retain a *Packet
+// across events — after deliver returns, the pointer may be reused for an
+// unrelated packet. idx is the packet's stable arena slot, which doubles
+// as its identity in typed kernel events (a scalar payload instead of a
+// boxed pointer).
 type Packet struct {
+	idx      int32 // arena slot; fixed for the life of the Fabric
 	src, dst topology.NodeID
 	bytes    int
 	flits    int

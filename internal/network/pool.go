@@ -1,0 +1,219 @@
+package network
+
+// This file holds the fabric's hot-path memory discipline: the packet
+// arena (a free list that recycles Packet values and their route slices at
+// delivery) and the per-VC packet queue (a head-indexed ring that reuses
+// its backing array instead of re-slicing it away). Together with the
+// typed kernel events in fabric.go these make the steady-state per-packet
+// path allocation-free; the AllocsPerRun gates in alloc_test.go pin that.
+
+// PoolStats reports packet-arena activity for one fabric. Allocated counts
+// arena growth (fresh Packet values), Recycled counts free-list reuse; in
+// steady state Recycled dwarfs Allocated and the arena size equals the
+// high-water mark of simultaneously live packets.
+type PoolStats struct {
+	Allocated uint64 // fresh packets added to the arena
+	Recycled  uint64 // packets served from the free list
+	Arena     int    // total packets in the arena (live + free)
+	Free      int    // packets currently on the free list
+}
+
+// PoolStats returns the fabric's current packet-arena statistics.
+func (f *Fabric) PoolStats() PoolStats {
+	s := f.pool.stats
+	s.Arena = len(f.pool.arena)
+	s.Free = len(f.pool.free)
+	return s
+}
+
+// packetPool is a per-fabric arena of Packets with a LIFO free list. LIFO
+// keeps the hottest (cache-resident) packet at hand, and — unlike
+// sync.Pool — is deterministic and survives GC, both of which the
+// simulator requires.
+type packetPool struct {
+	arena []*Packet // every packet ever created; Packet.idx indexes this
+	free  []int32   // arena slots available for reuse
+	stats PoolStats
+}
+
+// get returns a reset packet. With recycle disabled (Params.NoRecycle) it
+// always allocates, which is the reference behaviour the pool property
+// tests compare against.
+func (f *Fabric) allocPacket() *Packet {
+	pool := &f.pool
+	if n := len(pool.free); n > 0 && !f.params.NoRecycle {
+		p := pool.arena[pool.free[n-1]]
+		pool.free = pool.free[:n-1]
+		pool.stats.Recycled++
+		p.reset()
+		return p
+	}
+	p := &Packet{idx: int32(len(pool.arena)), hop: -1}
+	pool.arena = append(pool.arena, p)
+	pool.stats.Allocated++
+	return p
+}
+
+// releasePacket returns a delivered packet to the free list. The route
+// slice keeps its backing array so the next occupant routes without
+// allocating.
+func (f *Fabric) releasePacket(p *Packet) {
+	if f.params.NoRecycle {
+		return
+	}
+	p.msg = nil // drop the Message reference so delivered transfers can be collected
+	f.pool.free = append(f.pool.free, p.idx)
+}
+
+// reset clears a recycled packet to its zero state, keeping idx and the
+// route slice's capacity.
+func (p *Packet) reset() {
+	p.src, p.dst = 0, 0
+	p.bytes, p.flits = 0, 0
+	p.route = p.route[:0]
+	p.hop = -1
+	p.routed, p.response, p.nonMin = false, false, false
+	p.rspMode = 0
+	p.sendTime, p.routedAt = 0, 0
+	p.msg = nil
+}
+
+// packetOf resolves a typed-event payload back to its packet.
+func (f *Fabric) packetOf(idx int64) *Packet { return f.pool.arena[idx] }
+
+// pktQueue is one virtual channel's FIFO of queued packets. A plain
+// `q = q[1:]` dequeue leaks the backing array's front capacity and forces
+// a fresh allocation every few packets; this head-indexed form reuses the
+// array, compacting only when the queue drains (the common case — servers
+// mostly run near-empty) or when the dead prefix outgrows the live tail.
+type pktQueue struct {
+	buf  []*Packet
+	head int
+}
+
+func (q *pktQueue) empty() bool    { return q.head == len(q.buf) }
+func (q *pktQueue) len() int       { return len(q.buf) - q.head }
+func (q *pktQueue) front() *Packet { return q.buf[q.head] }
+
+func (q *pktQueue) push(p *Packet) {
+	if q.head > 64 && q.head > len(q.buf)-q.head {
+		// More dead slots than live packets: slide the tail down so the
+		// backing array stops growing.
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = nil
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, p)
+}
+
+func (q *pktQueue) pop() *Packet {
+	p := q.buf[q.head]
+	q.buf[q.head] = nil // no stale reference to a recycled packet
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return p
+}
+
+// waitReg is one entry of a server's waitingOn set: we are registered in
+// n.waiters as long as n's wake generation still matches gen. A wake flush
+// bumps n.wakeGen, invalidating every registration pointing at n in O(1)
+// instead of walking the waiters back-pointers (this replaces the former
+// map[*server]struct{}, whose inserts and deletes allocated per blocking
+// episode).
+type waitReg struct {
+	n   *server
+	gen uint64
+}
+
+// registerWaiter records that s is waiting for space at n, deduplicated
+// against live registrations. The scan is over s's own small set (bounded
+// by the distinct next-hop servers of s's VC heads), not n's waiter list.
+func (f *Fabric) registerWaiter(s, n *server) {
+	for i := range s.waitingOn {
+		r := &s.waitingOn[i]
+		if r.n == n {
+			if r.gen == n.wakeGen {
+				return // still registered from an earlier block
+			}
+			r.gen = n.wakeGen
+			n.waiters = append(n.waiters, s)
+			return
+		}
+	}
+	s.waitingOn = append(s.waitingOn, waitReg{n: n, gen: n.wakeGen})
+	n.waiters = append(n.waiters, s)
+}
+
+// flushWaiters snapshots s's current waiters for a batched wake and
+// schedules the single evWake event that re-arbitrates them. Bumping
+// wakeGen invalidates the snapshot's registrations, so a waiter that is
+// still blocked when woken simply re-registers. Late registrations (after
+// the snapshot, before the wake fires) land in the fresh s.waiters slice
+// and wait for the next flush — exactly the semantics the per-waiter
+// closure scheme had.
+func (f *Fabric) flushWaiters(s *server) {
+	if len(s.waiters) == 0 {
+		return
+	}
+	s.wakeGen++
+	s.waiters, s.waking = s.waking[:0], s.waiters
+	f.k.AfterEvent(0, f.hid, evWake, int64(s.idx), 0)
+}
+
+// wakeWaiters runs the batched wake: one kernel event re-arbitrating every
+// server in the snapshot, in registration order (the same order the old
+// one-event-per-waiter scheme preserved through consecutive sequence
+// numbers).
+func (f *Fabric) wakeWaiters(s *server) {
+	for i, w := range s.waking {
+		s.waking[i] = nil
+		f.tryStart(w)
+	}
+	s.waking = s.waking[:0]
+}
+
+// QueuedFlits returns the total flits currently buffered in the fabric
+// (diagnostic; returns to zero once all traffic has drained). Each
+// server's occTotal caches the sum of its per-VC occupancy, so this is one
+// addition per server rather than a walk over every VC slice;
+// TestQueuedFlitsMatchesWalk pins the equivalence.
+func (f *Fabric) QueuedFlits() int {
+	total := 0
+	for _, s := range f.links {
+		total += s.occTotal
+	}
+	for _, s := range f.inject {
+		total += s.occTotal
+	}
+	for _, s := range f.eject {
+		total += s.occTotal
+	}
+	return total
+}
+
+// queuedFlitsWalk recomputes QueuedFlits the slow way, walking every VC of
+// every server. Test-only reference for the cached occTotal sums.
+func (f *Fabric) queuedFlitsWalk() int {
+	total := 0
+	walk := func(s *server) {
+		for _, o := range s.occ {
+			total += o
+		}
+	}
+	for _, s := range f.links {
+		walk(s)
+	}
+	for _, s := range f.inject {
+		walk(s)
+	}
+	for _, s := range f.eject {
+		walk(s)
+	}
+	return total
+}

@@ -1,0 +1,218 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// driveTraffic sends msgs random messages into f with rng and returns the
+// total payload bytes injected. It does not run the kernel.
+func driveTraffic(f *Fabric, rng *rand.Rand, msgs int) (msgList []*Message, totalBytes int) {
+	n := f.Topology().NumNodes()
+	for i := 0; i < msgs; i++ {
+		src := topology.NodeID(rng.Intn(n))
+		dst := topology.NodeID(rng.Intn(n))
+		for src == dst {
+			dst = topology.NodeID(rng.Intn(n))
+		}
+		bytes := 1 + rng.Intn(3*f.Params().PacketBytes)
+		m := f.Send(src, dst, bytes, routing.Mode(rng.Intn(4)))
+		msgList = append(msgList, m)
+		totalBytes += bytes
+	}
+	return msgList, totalBytes
+}
+
+// TestQueuedFlitsMatchesWalk pins the cached occTotal sums behind
+// QueuedFlits to the slow per-VC walk, both mid-flight (while queues hold
+// packets) and after drain (both must read zero).
+func TestQueuedFlitsMatchesWalk(t *testing.T) {
+	f := testFabric(t, 3, 21)
+	rng := rand.New(rand.NewSource(42))
+	driveTraffic(f, rng, 60)
+
+	sawQueued := false
+	deadline := sim.Time(0)
+	for f.Kernel().Pending() > 0 {
+		deadline += 200 * sim.Nanosecond
+		f.Kernel().RunUntil(deadline)
+		fast, slow := f.QueuedFlits(), f.queuedFlitsWalk()
+		if fast != slow {
+			t.Fatalf("at t=%v QueuedFlits=%d but per-VC walk=%d", f.Kernel().Now(), fast, slow)
+		}
+		if fast > 0 {
+			sawQueued = true
+		}
+	}
+	if !sawQueued {
+		t.Fatal("traffic never showed up in QueuedFlits; test is vacuous")
+	}
+	if got := f.QueuedFlits(); got != 0 {
+		t.Fatalf("QueuedFlits=%d after drain, want 0", got)
+	}
+}
+
+// TestResponseSamplingCountsDataOnly pins the response-sampling clock to
+// data packets: with ResponseEvery=N, exactly floor(data/N) responses are
+// generated no matter how many responses are themselves delivered. (Gating
+// on PacketsDelivered — which responses advance — undersamples: every
+// delivered response pushes the next sample one packet further out.)
+func TestResponseSamplingCountsDataOnly(t *testing.T) {
+	for _, every := range []int{1, 2, 3} {
+		f := testFabric(t, 3, 7)
+		f.params.ResponseEvery = every
+		rng := rand.New(rand.NewSource(11))
+		const msgs = 40
+		var dataPkts uint64
+		n := f.Topology().NumNodes()
+		for i := 0; i < msgs; i++ {
+			src := topology.NodeID(rng.Intn(n))
+			dst := topology.NodeID(rng.Intn(n))
+			for src == dst {
+				dst = topology.NodeID(rng.Intn(n))
+			}
+			// Single-packet messages so the data-packet count is exact.
+			f.Send(src, dst, f.Params().PacketBytes, routing.AD0)
+			dataPkts++
+		}
+		f.Kernel().Run()
+
+		var orbTotal uint64
+		for _, c := range f.counters.ORBCount {
+			orbTotal += c
+		}
+		want := dataPkts / uint64(every)
+		if orbTotal != want {
+			t.Fatalf("ResponseEvery=%d: %d ORB samples for %d data packets, want %d",
+				every, orbTotal, dataPkts, want)
+		}
+	}
+}
+
+// checkPoolInvariants verifies the arena/free-list structure after a fully
+// drained run: every arena slot knows its own index, the free list holds
+// each recyclable slot exactly once, and with no packet in flight the free
+// list covers the whole arena (no leaked, no double-freed packets).
+func checkPoolInvariants(t *testing.T, f *Fabric) {
+	t.Helper()
+	pool := &f.pool
+	for i, p := range pool.arena {
+		if int(p.idx) != i {
+			t.Fatalf("arena[%d].idx = %d; recycled packet aliases another slot", i, p.idx)
+		}
+	}
+	seen := make(map[int32]bool, len(pool.free))
+	for _, idx := range pool.free {
+		if idx < 0 || int(idx) >= len(pool.arena) {
+			t.Fatalf("free-list index %d outside arena of %d", idx, len(pool.arena))
+		}
+		if seen[idx] {
+			t.Fatalf("arena slot %d double-freed", idx)
+		}
+		seen[idx] = true
+	}
+	if len(pool.free) != len(pool.arena) {
+		t.Fatalf("after drain %d of %d arena slots on the free list; %d packets leaked",
+			len(pool.free), len(pool.arena), len(pool.arena)-len(pool.free))
+	}
+	if got := pool.stats.Allocated; got != uint64(len(pool.arena)) {
+		t.Fatalf("PoolStats.Allocated=%d, arena holds %d", got, len(pool.arena))
+	}
+}
+
+// runPair drives identical traffic through a recycling fabric and a
+// NoRecycle reference fabric (same topology, seeds, and message sequence)
+// and fails if any observable output differs: packet and route-class
+// counts, per-message delivery times, final virtual time, every hardware
+// counter, and ORB samples. This is the aliasing property test: if a
+// recycled packet ever aliased a live one, its route, payload accounting,
+// or delivery would diverge from the allocate-always reference.
+func runPair(t *testing.T, seed int64, msgs int) {
+	t.Helper()
+	build := func(noRecycle bool) *Fabric {
+		topo, err := topology.Build(topology.TestConfig(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		params := DefaultParams()
+		params.NoRecycle = noRecycle
+		return New(sim.NewKernel(), topo, params, routing.DefaultConfig(), seed)
+	}
+	fp, fr := build(false), build(true)
+
+	mp, bytesP := driveTraffic(fp, rand.New(rand.NewSource(seed+1)), msgs)
+	mr, bytesR := driveTraffic(fr, rand.New(rand.NewSource(seed+1)), msgs)
+	if bytesP != bytesR {
+		t.Fatalf("traffic generators diverged: %d vs %d bytes", bytesP, bytesR)
+	}
+	endP, endR := fp.Kernel().Run(), fr.Kernel().Run()
+
+	if endP != endR {
+		t.Fatalf("seed %d: final time %v (pooled) vs %v (reference)", seed, endP, endR)
+	}
+	if fp.PacketsSent != fr.PacketsSent || fp.PacketsDelivered != fr.PacketsDelivered {
+		t.Fatalf("seed %d: sent/delivered %d/%d vs %d/%d",
+			seed, fp.PacketsSent, fp.PacketsDelivered, fr.PacketsSent, fr.PacketsDelivered)
+	}
+	if fp.MinimalTaken != fr.MinimalTaken || fp.NonMinimalTaken != fr.NonMinimalTaken {
+		t.Fatalf("seed %d: route classes %d/%d vs %d/%d",
+			seed, fp.MinimalTaken, fp.NonMinimalTaken, fr.MinimalTaken, fr.NonMinimalTaken)
+	}
+	for i := range mp {
+		if !mp[i].Done.Fired() || !mr[i].Done.Fired() {
+			t.Fatalf("seed %d: message %d undelivered (pooled=%v reference=%v)",
+				seed, i, mp[i].Done.Fired(), mr[i].Done.Fired())
+		}
+		if mp[i].DeliveredAt != mr[i].DeliveredAt {
+			t.Fatalf("seed %d: message %d delivered at %v (pooled) vs %v (reference)",
+				seed, i, mp[i].DeliveredAt, mr[i].DeliveredAt)
+		}
+	}
+	cp, cr := fp.Counters(), fr.Counters()
+	for r := range cp.Flits {
+		for tl := range cp.Flits[r] {
+			if cp.Flits[r][tl] != cr.Flits[r][tl] {
+				t.Fatalf("seed %d: router %d tile %d flits %d vs %d",
+					seed, r, tl, cp.Flits[r][tl], cr.Flits[r][tl])
+			}
+			if cp.Stalls[r][tl] != cr.Stalls[r][tl] {
+				t.Fatalf("seed %d: router %d tile %d stalls %v vs %v",
+					seed, r, tl, cp.Stalls[r][tl], cr.Stalls[r][tl])
+			}
+		}
+	}
+	for n := range cp.ORBCount {
+		if cp.ORBCount[n] != cr.ORBCount[n] || cp.ORBTimeSum[n] != cr.ORBTimeSum[n] {
+			t.Fatalf("seed %d: node %d ORB %d/%v vs %d/%v",
+				seed, n, cp.ORBCount[n], cp.ORBTimeSum[n], cr.ORBCount[n], cr.ORBTimeSum[n])
+		}
+	}
+
+	checkPoolInvariants(t, fp)
+	if st := fp.PoolStats(); st.Recycled == 0 {
+		t.Fatalf("seed %d: pool never recycled a packet; property test is vacuous (stats %+v)",
+			seed, st)
+	}
+}
+
+// TestRecycleMatchesNoRecycle is the pooled-vs-reference property over a
+// spread of seeds.
+func TestRecycleMatchesNoRecycle(t *testing.T) {
+	for _, seed := range []int64{1, 17, 202, 4096} {
+		runPair(t, seed, 80)
+	}
+}
+
+// FuzzRecycleMatchesNoRecycle fuzzes the same property over arbitrary
+// seeds and traffic volumes.
+func FuzzRecycleMatchesNoRecycle(f *testing.F) {
+	f.Add(int64(3), uint8(20))
+	f.Add(int64(999), uint8(60))
+	f.Fuzz(func(t *testing.T, seed int64, msgs uint8) {
+		runPair(t, seed, 1+int(msgs)%100)
+	})
+}

@@ -48,11 +48,26 @@ func DefaultConfig() Config {
 }
 
 // Engine constructs adaptive routes over one topology.
+//
+// An Engine is not safe for concurrent use: candidate paths are built in
+// per-engine scratch buffers (one pair per candidate class, double-buffered
+// so the running best survives while the next candidate is scored), and
+// only the winning path is copied out. The buffers are preallocated at the
+// maximum path length, so a routing decision allocates nothing.
 type Engine struct {
 	topo *topology.Topology
 	est  LoadEstimator
 	cfg  Config
+
+	// Scratch state (see DESIGN.md, "Hot-path memory discipline").
+	gwBuf   []topology.LinkID    // sampleGateways output
+	minBufs [2][]topology.LinkID // bestMinimal candidate / incumbent
+	nonBufs [2][]topology.LinkID // bestNonMinimal candidate / incumbent
 }
+
+// maxPathLinks bounds any candidate path: an inter-group Valiant route is
+// at most 2 + 1 + 2 + 1 + 2 = 8 links; 12 leaves slack.
+const maxPathLinks = 12
 
 // NewEngine builds an engine. est may be nil (all links idle).
 func NewEngine(topo *topology.Topology, est LoadEstimator, cfg Config) *Engine {
@@ -65,7 +80,13 @@ func NewEngine(topo *topology.Topology, est LoadEstimator, cfg Config) *Engine {
 	if cfg.NonMinimalCandidates < 1 {
 		cfg.NonMinimalCandidates = 1
 	}
-	return &Engine{topo: topo, est: est, cfg: cfg}
+	e := &Engine{topo: topo, est: est, cfg: cfg}
+	e.gwBuf = make([]topology.LinkID, 0, 8)
+	for i := range e.minBufs {
+		e.minBufs[i] = make([]topology.LinkID, 0, maxPathLinks)
+		e.nonBufs[i] = make([]topology.LinkID, 0, maxPathLinks)
+	}
+	return e
 }
 
 // Topology returns the engine's topology.
@@ -144,11 +165,10 @@ func (e *Engine) intraGroup(buf []topology.LinkID, a, b topology.RouterID) []top
 	return append(buf, t.R1Link(viaCol, b))
 }
 
-// minimalInterGroup builds one minimal path from src to dst (different
-// groups) through the given rank-3 gateway link.
-func (e *Engine) minimalInterGroup(src, dst topology.RouterID, gw topology.LinkID) []topology.LinkID {
+// minimalInterGroup appends one minimal path from src to dst (different
+// groups) through the given rank-3 gateway link to buf.
+func (e *Engine) minimalInterGroup(buf []topology.LinkID, src, dst topology.RouterID, gw topology.LinkID) []topology.LinkID {
 	g := e.topo.Link(gw)
-	buf := make([]topology.LinkID, 0, 5)
 	buf = e.intraGroup(buf, src, g.Src)
 	buf = append(buf, gw)
 	return e.intraGroup(buf, g.Dst, dst)
@@ -156,7 +176,10 @@ func (e *Engine) minimalInterGroup(src, dst topology.RouterID, gw topology.LinkI
 
 // sampleGateways picks up to k distinct rank-3 links from group a to group
 // b, uniformly without replacement. k is tiny (<= 4), so rejection
-// sampling over indices beats any allocation-heavy scheme.
+// sampling over indices beats any allocation-heavy scheme. The result is
+// backed by engine scratch (or the topology's own link table when it has
+// at most k entries): it is valid only until the next sampleGateways call
+// and must not be mutated.
 func (e *Engine) sampleGateways(rng *rand.Rand, a, b topology.GroupID, k int) []topology.LinkID {
 	all := e.topo.GlobalLinks(a, b)
 	if len(all) <= k {
@@ -181,29 +204,37 @@ func (e *Engine) sampleGateways(rng *rand.Rand, a, b topology.GroupID, k int) []
 			count++
 		}
 	}
-	out := make([]topology.LinkID, count)
-	for i, v := range idx[:count] {
-		out[i] = all[v]
+	out := e.gwBuf[:0]
+	for _, v := range idx[:count] {
+		out = append(out, all[v])
 	}
+	e.gwBuf = out
 	return out
 }
 
 // bestMinimal returns the least-loaded minimal path among k sampled
 // gateway choices (or the <=2-hop intra-group path when src and dst share
-// a group).
+// a group). The result is scratch-backed: valid until the next bestMinimal
+// call on this engine.
 func (e *Engine) bestMinimal(rng *rand.Rand, src, dst topology.RouterID) []topology.LinkID {
 	t := e.topo
 	ga, gb := t.GroupOfRouter(src), t.GroupOfRouter(dst)
 	if ga == gb {
-		return e.intraGroup(make([]topology.LinkID, 0, 2), src, dst)
+		e.minBufs[0] = e.intraGroup(e.minBufs[0][:0], src, dst)
+		return e.minBufs[0]
 	}
 	var best []topology.LinkID
 	bestLoad := 0
+	cur := 0
 	for _, gw := range e.sampleGateways(rng, ga, gb, e.cfg.MinimalCandidates) {
-		p := e.minimalInterGroup(src, dst, gw)
+		p := e.minimalInterGroup(e.minBufs[cur][:0], src, dst, gw)
+		e.minBufs[cur] = p
 		l := e.pathLoad(p)
 		if best == nil || l < bestLoad {
+			// The candidate becomes the incumbent; build the next one in
+			// the other buffer so the incumbent survives.
 			best, bestLoad = p, l
+			cur = 1 - cur
 		}
 	}
 	return best
@@ -211,19 +242,23 @@ func (e *Engine) bestMinimal(rng *rand.Rand, src, dst topology.RouterID) []topol
 
 // bestNonMinimal returns the least-loaded Valiant path: via a random
 // intermediate group (inter-group traffic) or a random intermediate router
-// (intra-group traffic).
+// (intra-group traffic). The result is scratch-backed: valid until the
+// next bestNonMinimal call on this engine.
 func (e *Engine) bestNonMinimal(rng *rand.Rand, src, dst topology.RouterID) []topology.LinkID {
 	t := e.topo
 	ga, gb := t.GroupOfRouter(src), t.GroupOfRouter(dst)
 	var best []topology.LinkID
 	bestLoad := 0
+	cur := 0
+	// consider scores the candidate just built in nonBufs[cur] and, if it
+	// beats the incumbent, claims its buffer (same double-buffer scheme
+	// as bestMinimal).
 	consider := func(p []topology.LinkID) {
-		if p == nil {
-			return
-		}
+		e.nonBufs[cur] = p
 		l := e.pathLoad(p)
 		if best == nil || l < bestLoad {
 			best, bestLoad = p, l
+			cur = 1 - cur
 		}
 	}
 	if ga == gb {
@@ -238,8 +273,7 @@ func (e *Engine) bestNonMinimal(rng *rand.Rand, src, dst topology.RouterID) []to
 			if mid == src || mid == dst {
 				continue
 			}
-			buf := make([]topology.LinkID, 0, 4)
-			buf = e.intraGroup(buf, src, mid)
+			buf := e.intraGroup(e.nonBufs[cur][:0], src, mid)
 			consider(e.intraGroup(buf, mid, dst))
 		}
 		return best
@@ -254,39 +288,51 @@ func (e *Engine) bestNonMinimal(rng *rand.Rand, src, dst topology.RouterID) []to
 		if mid == ga || mid == gb {
 			continue
 		}
+		// Both gateway samples share the engine's scratch, so lift the
+		// first one's link id out before the second sample overwrites it.
+		// The draw order (gw1 sampled, then gw2, then the emptiness
+		// check) is part of the frozen RNG sequence.
 		gw1 := e.sampleGateways(rng, ga, mid, 1)
+		var id1 topology.LinkID
+		ok1 := len(gw1) > 0
+		if ok1 {
+			id1 = gw1[0]
+		}
 		gw2 := e.sampleGateways(rng, mid, gb, 1)
-		if len(gw1) == 0 || len(gw2) == 0 {
+		if !ok1 || len(gw2) == 0 {
 			continue
 		}
-		l1, l2 := t.Link(gw1[0]), t.Link(gw2[0])
-		buf := make([]topology.LinkID, 0, 8)
-		buf = e.intraGroup(buf, src, l1.Src)
-		buf = append(buf, gw1[0])
+		id2 := gw2[0]
+		l1, l2 := t.Link(id1), t.Link(id2)
+		buf := e.intraGroup(e.nonBufs[cur][:0], src, l1.Src)
+		buf = append(buf, id1)
 		buf = e.intraGroup(buf, l1.Dst, l2.Src)
-		buf = append(buf, gw2[0])
+		buf = append(buf, id2)
 		consider(e.intraGroup(buf, l2.Dst, dst))
 	}
 	return best
 }
 
-// Route makes one adaptive routing decision for a packet from src to dst
-// under the given mode, using live load estimates. hopsTaken is nonzero
-// only for progressive re-evaluation (AD1).
-func (e *Engine) Route(mode Mode, rng *rand.Rand, src, dst topology.RouterID, hopsTaken int) Path {
+// route makes one adaptive routing decision. The returned slice aliases
+// engine scratch: valid until the next routing call, never to be retained.
+// The sequence of RNG draws this function makes (candidate sampling and
+// every LoadEstimator query, in order) is a frozen interface: golden
+// artifacts depend on it byte-for-byte, so restructuring must not add,
+// drop, or reorder a single draw (see DESIGN.md).
+func (e *Engine) route(mode Mode, rng *rand.Rand, src, dst topology.RouterID, hopsTaken int) ([]topology.LinkID, bool) {
 	if src == dst {
-		return Path{}
+		return nil, false
 	}
 	min := e.bestMinimal(rng, src, dst)
 	if mode == MinimalOnly {
-		return Path{Links: min}
+		return min, false
 	}
 	nonMin := e.bestNonMinimal(rng, src, dst)
 	if nonMin == nil {
-		return Path{Links: min}
+		return min, false
 	}
 	if mode == ValiantOnly {
-		return Path{Links: nonMin, NonMinimal: true}
+		return nonMin, true
 	}
 	minLoad, nonMinLoad := e.pathLoad(min), e.pathLoad(nonMin)
 	if e.cfg.Progressive && mode == AD1 {
@@ -297,12 +343,33 @@ func (e *Engine) Route(mode Mode, rng *rand.Rand, src, dst topology.RouterID, ho
 			shift = 4
 		}
 		if minLoad <= nonMinLoad<<shift {
-			return Path{Links: min}
+			return min, false
 		}
-		return Path{Links: nonMin, NonMinimal: true}
+		return nonMin, true
 	}
 	if mode.PrefersMinimal(minLoad, nonMinLoad) {
-		return Path{Links: min}
+		return min, false
 	}
-	return Path{Links: nonMin, NonMinimal: true}
+	return nonMin, true
+}
+
+// RouteInto makes one adaptive routing decision for a packet from src to
+// dst under the given mode, appending the winning path to dst0 (typically
+// a pooled route slice with spare capacity) and reporting whether it is
+// non-minimal. This is the allocation-free entry the fabric uses: losing
+// candidates live and die in engine scratch. hopsTaken is nonzero only for
+// progressive re-evaluation (AD1).
+func (e *Engine) RouteInto(dst0 []topology.LinkID, mode Mode, rng *rand.Rand, src, dst topology.RouterID, hopsTaken int) ([]topology.LinkID, bool) {
+	links, nonMin := e.route(mode, rng, src, dst, hopsTaken)
+	return append(dst0, links...), nonMin
+}
+
+// Route is the convenience form of RouteInto: it returns the decision as
+// a freshly allocated Path the caller may keep.
+func (e *Engine) Route(mode Mode, rng *rand.Rand, src, dst topology.RouterID, hopsTaken int) Path {
+	links, nonMin := e.route(mode, rng, src, dst, hopsTaken)
+	if links == nil {
+		return Path{NonMinimal: nonMin}
+	}
+	return Path{Links: append([]topology.LinkID(nil), links...), NonMinimal: nonMin}
 }

@@ -1,0 +1,78 @@
+package sim
+
+import "testing"
+
+// countingHandler is a minimal typed-event consumer that optionally
+// reschedules itself, driving a steady event stream with no closures.
+type countingHandler struct {
+	k     *Kernel
+	id    HandlerID
+	n     int
+	chain int // while n < chain, each event schedules a successor
+}
+
+func (h *countingHandler) HandleEvent(kind uint8, a, b int64) {
+	h.n++
+	if h.n < h.chain {
+		h.k.AfterEvent(Nanosecond, h.id, kind, a, b)
+	}
+}
+
+// TestTypedEventDispatchAllocFree pins the kernel's typed-event fast path
+// at zero allocations per dispatch in steady state: once the event heap
+// has grown to its working size, scheduling and executing AtEvent/
+// AfterEvent events must never touch the allocator. This is the
+// foundation the fabric's zero-alloc packet path is built on; a
+// regression here shows up as allocs-per-packet one layer up.
+func TestTypedEventDispatchAllocFree(t *testing.T) {
+	k := NewKernel()
+	h := &countingHandler{k: k}
+	h.id = k.RegisterHandler(h)
+
+	// Warm the heap past the working depth of the measured loop.
+	for i := 0; i < 1024; i++ {
+		k.AtEvent(k.Now()+Time(i), h.id, 0, 0, 0)
+	}
+	k.Run()
+
+	const perRun = 256
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < perRun; i++ {
+			k.AfterEvent(Time(i%7), h.id, 0, int64(i), 0)
+		}
+		k.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("typed event schedule+dispatch allocated %.2f times per %d events, want 0",
+			allocs, perRun)
+	}
+}
+
+// TestTypedEventOrdering checks that typed and closure events interleave
+// in strict (time, scheduling sequence) order regardless of which API
+// queued them.
+func TestTypedEventOrdering(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	rec := k.RegisterHandler(&recordingHandler{order: &order})
+	k.At(5, func() { order = append(order, 1) })
+	k.AtEvent(5, rec, 0, 2, 0)
+	k.At(5, func() { order = append(order, 3) })
+	k.AtEvent(3, rec, 0, 0, 0)
+	k.Run()
+	want := []int{0, 1, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", order, want)
+		}
+	}
+}
+
+type recordingHandler struct{ order *[]int }
+
+func (h *recordingHandler) HandleEvent(kind uint8, a, b int64) {
+	*h.order = append(*h.order, int(a))
+}

@@ -40,6 +40,37 @@ func BenchmarkHeapChurn(b *testing.B) {
 	k.RunUntil(999_999 * Nanosecond)
 }
 
+// benchHandler self-reschedules through the typed-event fast path until
+// it has fired n times.
+type benchHandler struct {
+	k  *Kernel
+	id HandlerID
+	i  int
+	n  int
+}
+
+func (h *benchHandler) HandleEvent(kind uint8, a, b int64) {
+	h.i++
+	if h.i < h.n {
+		h.k.AfterEvent(Nanosecond, h.id, kind, a, b)
+	}
+}
+
+// BenchmarkTypedEventThroughput measures the typed-event dispatch path
+// (AfterEvent + HandleEvent): same event stream as
+// BenchmarkEventThroughput but with scalar payloads instead of closures,
+// so the difference between the two is the closure-boxing cost the fabric
+// no longer pays. Run with -benchmem: this path must report 0 allocs/op.
+func BenchmarkTypedEventThroughput(b *testing.B) {
+	k := NewKernel()
+	h := &benchHandler{k: k, n: b.N}
+	h.id = k.RegisterHandler(h)
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.AtEvent(0, h.id, 0, 0, 0)
+	k.Run()
+}
+
 // BenchmarkProcSwitch measures coroutine handoff cost (two goroutine
 // channel transfers per blocking operation).
 func BenchmarkProcSwitch(b *testing.B) {

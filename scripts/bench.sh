@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# bench.sh — run the hot-path benchmark suite and emit BENCH_2.json.
+#
+# Measures the three layers of the zero-allocation packet path (kernel
+# event dispatch, routing decision, end-to-end packet delivery) plus the
+# sequential-vs-parallel production ensemble, all with -benchmem, and
+# writes a machine-readable summary next to the repo root. The
+# baseline_pre_pr block in the output is the recorded pre-optimization
+# measurement (commit fa73dce, same benchmark definitions) that the
+# current numbers are compared against.
+#
+# Usage: scripts/bench.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out=${1:-BENCH_2.json}
+
+echo "== sim benchmarks ==" >&2
+sim=$(go test -run xxx -bench 'BenchmarkEventThroughput$|BenchmarkTypedEventThroughput' \
+	-benchmem -benchtime 2s ./internal/sim/)
+echo "== network benchmarks ==" >&2
+net=$(go test -run xxx -bench 'BenchmarkPacketDelivery|BenchmarkAdaptiveRoute$|BenchmarkRouteInto' \
+	-benchmem ./internal/network/)
+echo "== ensemble benchmarks (slow) ==" >&2
+ens=$(go test -run xxx -bench 'BenchmarkEnsemble' -benchtime 3x -benchmem -timeout 60m .)
+
+SIM_OUT="$sim" NET_OUT="$net" ENS_OUT="$ens" OUT="$out" python3 - << 'EOF'
+import json, os, re
+
+def parse(block):
+    rows = {}
+    for line in block.splitlines():
+        m = re.match(r'(Benchmark\S+)\s+\d+\s+([\d.]+) ns/op(.*)', line.strip())
+        if not m:
+            continue
+        name, ns, rest = m.group(1), float(m.group(2)), m.group(3)
+        row = {'ns_op': ns}
+        for val, unit in re.findall(r'([\d.]+) (\S+)', rest):
+            row[unit.replace('/', '_per_')] = float(val)
+        rows[name] = row
+    return rows
+
+sim = parse(os.environ['SIM_OUT'])
+net = parse(os.environ['NET_OUT'])
+ens = parse(os.environ['ENS_OUT'])
+
+pkt = net['BenchmarkPacketDelivery']
+seq = ens['BenchmarkEnsembleSequential']
+par = ens['BenchmarkEnsembleParallel']
+
+# Pre-optimization numbers, same machine and benchmark definitions,
+# recorded before the zero-allocation hot path landed.
+baseline = {
+    'commit': 'fa73dce',
+    'ensemble_sequential_ns_op': 7514224871,
+    'ensemble_sequential_B_op': 753055186,
+    'ensemble_sequential_allocs_op': 24340992,
+    'packet_delivery_ns_op': 13651,
+    'packet_delivery_events_per_pkt': 24.02,
+    'packet_delivery_B_op': 1350,
+    'packet_delivery_allocs_op': 46,
+    'adaptive_route_ns_op': 713.7,
+    'adaptive_route_B_op': 108,
+    'adaptive_route_allocs_op': 6,
+    'event_throughput_ns_op': 9.256,
+}
+
+current = {
+    'sim': {
+        'closure_event_ns_op': sim['BenchmarkEventThroughput']['ns_op'],
+        'typed_event_ns_op': sim['BenchmarkTypedEventThroughput']['ns_op'],
+        'typed_event_allocs_op': sim['BenchmarkTypedEventThroughput']['allocs_per_op'],
+    },
+    'network': {
+        'packet_delivery_ns_op': pkt['ns_op'],
+        'events_per_packet': pkt.get('events_per_pkt', 0),
+        'allocs_per_packet': pkt['allocs_per_op'],
+        'B_per_packet': pkt['B_per_op'],
+        'events_per_sec': round(pkt.get('events_per_pkt', 0) / (pkt['ns_op'] * 1e-9)),
+        'adaptive_route_ns_op': net['BenchmarkAdaptiveRoute']['ns_op'],
+        'route_into_ns_op': net['BenchmarkRouteInto']['ns_op'],
+        'route_into_allocs_op': net['BenchmarkRouteInto']['allocs_per_op'],
+    },
+    'ensemble': {
+        'sequential_ns_op': seq['ns_op'],
+        'sequential_B_op': seq['B_per_op'],
+        'sequential_allocs_op': seq['allocs_per_op'],
+        'parallel_ns_op': par['ns_op'],
+        'parallel_B_op': par['B_per_op'],
+        'parallel_allocs_op': par['allocs_per_op'],
+        'parallel_speedup': round(seq['ns_op'] / par['ns_op'], 2),
+    },
+}
+
+report = {
+    'issue': 2,
+    'generated_by': 'scripts/bench.sh',
+    'baseline_pre_pr': baseline,
+    'current': current,
+    'sequential_improvement_vs_baseline': round(
+        1 - current['ensemble']['sequential_ns_op'] / baseline['ensemble_sequential_ns_op'], 3),
+}
+with open(os.environ['OUT'], 'w') as f:
+    json.dump(report, f, indent=2)
+    f.write('\n')
+print(f"wrote {os.environ['OUT']}")
+print(f"sequential ensemble improvement vs baseline: "
+      f"{report['sequential_improvement_vs_baseline']:.1%}")
+EOF
