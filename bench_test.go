@@ -13,6 +13,7 @@ package repro_test
 // memoize it, exactly as cmd/reproduce does.
 
 import (
+	"fmt"
 	"reflect"
 	"runtime"
 	"testing"
@@ -69,6 +70,21 @@ func BenchmarkEnsembleParallel(b *testing.B) {
 	}
 	if !reflect.DeepEqual(seq, par) {
 		b.Fatal("parallel ensemble diverged from sequential result")
+	}
+}
+
+// BenchmarkEnsembleWorkers is the worker-sweep scaling curve: the same
+// MILC campaign at -j 1, 2, 4, and 8, the measurement scripts/bench.sh
+// turns into BENCH_3.json's speedup-vs-workers trajectory. On a
+// single-CPU host all points collapse onto sequential throughput (the
+// workers run concurrently but not in parallel); the curve is only
+// meaningful where runtime.NumCPU allows real overlap, which is why the
+// emitted report records host_cpus alongside it.
+func BenchmarkEnsembleWorkers(b *testing.B) {
+	for _, j := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			benchEnsemble(b, j)
+		})
 	}
 }
 

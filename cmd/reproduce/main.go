@@ -11,14 +11,18 @@
 // production campaign, so requesting any of them runs that campaign once.
 //
 // -j sets how many runs execute concurrently (default: all CPUs). Each
-// worker simulates on its own machine instance and results are merged in
-// seed order, so the output is identical for every -j value.
+// worker simulates on its own machine instance (reused warm across the
+// runs assigned to its slot) and results are merged in seed order, so
+// the output is identical for every -j value.
 //
 // -cpuprofile / -memprofile / -trace write pprof CPU and heap profiles and
 // a runtime execution trace covering the selected experiments; pair them
-// with -exp to profile one campaign in isolation. The heap profile is
-// written at exit after a forced GC, so it shows live retained memory;
-// inspect with `go tool pprof` / `go tool trace`.
+// with -exp to profile one campaign in isolation. Ensemble worker
+// goroutines carry the pprof label worker=<slot>, so per-slot time splits
+// are one `pprof -tagfocus worker=N` (or the trace viewer's goroutine
+// grouping) away. The heap profile is written at exit after a forced GC,
+// so it shows live retained memory; inspect with `go tool pprof` /
+// `go tool trace`.
 package main
 
 import (

@@ -2,9 +2,12 @@
 // topology, fabric, MPI runtime, applications, placement, background
 // noise, and telemetry into single-call experiment runs.
 //
-// A Machine is an immutable description of one system (Theta, Cori, or a
-// test instance). Each Run builds a fresh kernel and fabric, so runs are
-// independent and fully deterministic in their seed.
+// A Machine describes one system (Theta, Cori, or a test instance). Runs
+// are independent and fully deterministic in their seed: each Run resets
+// the machine's warm kernel and fabric in place (or builds them fresh the
+// first time, or after a parameter change), which is behaviourally
+// identical to building new ones but skips the construction cost that
+// used to dominate ensemble wall-clock.
 package core
 
 import (
@@ -23,11 +26,52 @@ import (
 )
 
 // Machine describes one system configuration. Construct with NewMachine,
-// then adjust the public fields before the first Run if needed.
+// then adjust the public fields before the first Run if needed. A Machine
+// is not safe for concurrent use: parallel ensembles give each worker its
+// own Machine (see internal/experiments' machinePool).
 type Machine struct {
 	Topo  *topology.Topology
 	Net   network.Params
 	Route routing.Config
+
+	// Warm-reuse state: the kernel/fabric pair from the previous run,
+	// reset in place for the next one while the public configuration
+	// stays unchanged (the warm* copies detect edits between runs and
+	// force a rebuild). Fabric construction is half the allocation
+	// volume of an ensemble run, so reuse is what makes per-worker
+	// machines cheap enough to replay hundreds of seeds.
+	k         *sim.Kernel
+	fab       *network.Fabric
+	warmTopo  *topology.Topology
+	warmNet   network.Params
+	warmRoute routing.Config
+}
+
+// fabric returns the kernel/fabric pair for one run: the machine's warm
+// pair rewound in place when it exists and the configuration still
+// matches, a fresh build otherwise. A previous run that failed mid-flight
+// (live procs parked, events queued) also forces a rebuild — Reset's
+// behavioural-identity guarantee only holds from a drained state.
+func (m *Machine) fabric(seed int64) (*sim.Kernel, *network.Fabric) {
+	if m.k != nil && m.warmTopo == m.Topo && m.warmNet == m.Net &&
+		m.warmRoute == m.Route && m.k.LiveProcs() == 0 && m.k.Pending() == 0 {
+		m.k.Reset()
+		m.fab.Reset(seed)
+		return m.k, m.fab
+	}
+	m.k = sim.NewKernel()
+	m.fab = network.New(m.k, m.Topo, m.Net, m.Route, seed)
+	m.warmTopo, m.warmNet, m.warmRoute = m.Topo, m.Net, m.Route
+	return m.k, m.fab
+}
+
+// Reset discards the machine's warm kernel/fabric pair, forcing the next
+// Run to construct fresh ones. Runs never need this — stale pairs are
+// detected and rebuilt automatically — but tests comparing warm against
+// cold behaviour use it as the explicit cold path.
+func (m *Machine) Reset() {
+	m.k = nil
+	m.fab = nil
 }
 
 // NewMachine builds the topology for cfg with default fabric parameters.
@@ -148,14 +192,14 @@ type RunResult struct {
 }
 
 // Run executes the instrumented jobs (simultaneously) with optional
-// background noise, on a fresh fabric. It blocks until the virtual
-// machine fully drains and returns per-job results plus global telemetry.
+// background noise, on the machine's warm fabric (rewound in place; see
+// fabric). It blocks until the virtual machine fully drains and returns
+// per-job results plus global telemetry.
 func (m *Machine) Run(specs []JobSpec, opts RunOpts) (*RunResult, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("core: no jobs to run")
 	}
-	k := sim.NewKernel()
-	fab := network.New(k, m.Topo, m.Net, m.Route, opts.Seed)
+	k, fab := m.fabric(opts.Seed)
 	alloc := placement.NewAllocator(m.Topo)
 	rng := newRNG(opts.Seed)
 
@@ -293,8 +337,7 @@ func (m *Machine) RunCampaign(duration sim.Time, bg BackgroundSpec, ldmsOpts ldm
 	if duration <= 0 {
 		return nil, fmt.Errorf("core: campaign duration must be positive")
 	}
-	k := sim.NewKernel()
-	fab := network.New(k, m.Topo, m.Net, m.Route, seed)
+	k, fab := m.fabric(seed)
 	alloc := placement.NewAllocator(m.Topo)
 
 	daemon := ldms.Start(fab, ldmsOpts)

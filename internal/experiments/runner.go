@@ -14,10 +14,12 @@ import (
 	"repro/internal/topology"
 )
 
-// machinePool hands each parallel worker its own Machine. core.Machine is
-// read-only during Run, but ablation sweeps tweak Net/Route between runs
-// and one-machine-per-worker keeps the no-shared-mutable-state invariant
-// trivially auditable.
+// machinePool hands each parallel worker its own Machine. A Machine
+// mutates during Run — it rewinds and reuses a warm kernel/fabric pair
+// across the runs assigned to its slot (see core.Machine) — so
+// one-machine-per-worker is what keeps the no-shared-mutable-state
+// invariant between workers trivially auditable. The reuse is also the
+// point: each slot pays fabric construction once, not once per run.
 type machinePool struct {
 	machines []*core.Machine
 }

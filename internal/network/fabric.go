@@ -1,6 +1,7 @@
 package network
 
 import (
+	"math/bits"
 	"math/rand"
 
 	"repro/internal/routing"
@@ -558,55 +559,73 @@ func (f *Fabric) stallTile(s *server, p *Packet) (topology.RouterID, int) {
 // tryStart arbitrates s's VC heads round-robin and begins serializing the
 // first one whose downstream buffer has space. If work is queued but
 // nothing can proceed, a stall interval starts.
+//
+// The scan walks set bits of the nonEmpty mask directly instead of
+// testing all numVC positions: hi holds the VCs strictly above the
+// round-robin pointer (visited first, ascending), lo the wrap-around
+// remainder up to and including lastVC — the exact visit order of the
+// old modular loop, skipping empty VCs for free. tryStart is the hottest
+// fabric function (it runs per injection, arrival, completion, and wake),
+// and most servers have 1-2 of 12 VCs occupied.
 func (f *Fabric) tryStart(s *server) {
 	if s.busy || s.nonEmpty == 0 {
 		return
 	}
-	nvc := len(s.queues)
-	for i := 1; i <= nvc; i++ {
-		vc := (s.lastVC + i) % nvc
-		if s.nonEmpty&(1<<uint(vc)) == 0 {
-			continue
+	hi := s.nonEmpty >> uint(s.lastVC+1) << uint(s.lastVC+1)
+	for m := hi; m != 0; m &= m - 1 {
+		if f.startVC(s, bits.TrailingZeros32(m)) {
+			return
 		}
-		p := s.queues[vc].front()
-		if s.kind == kindInject && !p.routed {
-			// Route lazily at the head of the injection queue so the
-			// adaptive decision sees current congestion.
-			mode := p.rspMode
-			if p.msg != nil {
-				mode = p.msg.Mode
-			}
-			f.routePacket(p, mode)
+	}
+	for m := s.nonEmpty &^ hi; m != 0; m &= m - 1 {
+		if f.startVC(s, bits.TrailingZeros32(m)) {
+			return
 		}
-		n := f.next(s, p)
-		if n != nil {
-			dvc := f.vcForHop(n, f.hopAfter(s, p))
-			if !n.hasSpace(dvc, p.flits) {
-				f.registerWaiter(s, n)
-				continue // other VCs may still proceed
-			}
-			// Reserve downstream space for the whole serialization
-			// (wormhole-style occupancy).
-			n.bumpOcc(dvc, p.flits, f.k.Now())
-		}
-		if s.blocked {
-			s.blocked = false
-			r, tIdx := f.stallTile(s, p)
-			f.counters.Stalls[r][tIdx] += float64(f.k.Now()-s.stallAt) / float64(s.flitTime)
-		}
-		s.lastVC = vc
-		s.busy = true
-		ser := sim.Time(float64(p.bytes) / s.bw * 1e12)
-		// Typed event: finishTx recovers (p, n, vc) from s itself —
-		// lastVC and the queue head are frozen while the server is busy.
-		f.k.AfterEvent(ser, f.hid, evFinishTx, int64(s.idx), 0)
-		return
 	}
 	// Nothing startable: begin a stall interval if work is queued.
 	if !s.blocked && s.queued() {
 		s.blocked = true
 		s.stallAt = f.k.Now()
 	}
+}
+
+// startVC tries to begin serializing the head of s's VC vc, reporting
+// whether serialization started (false: downstream full, caller moves to
+// the next candidate VC).
+func (f *Fabric) startVC(s *server, vc int) bool {
+	p := s.queues[vc].front()
+	if s.kind == kindInject && !p.routed {
+		// Route lazily at the head of the injection queue so the
+		// adaptive decision sees current congestion.
+		mode := p.rspMode
+		if p.msg != nil {
+			mode = p.msg.Mode
+		}
+		f.routePacket(p, mode)
+	}
+	n := f.next(s, p)
+	if n != nil {
+		dvc := f.vcForHop(n, f.hopAfter(s, p))
+		if !n.hasSpace(dvc, p.flits) {
+			f.registerWaiter(s, n)
+			return false // other VCs may still proceed
+		}
+		// Reserve downstream space for the whole serialization
+		// (wormhole-style occupancy).
+		n.bumpOcc(dvc, p.flits, f.k.Now())
+	}
+	if s.blocked {
+		s.blocked = false
+		r, tIdx := f.stallTile(s, p)
+		f.counters.Stalls[r][tIdx] += float64(f.k.Now()-s.stallAt) / float64(s.flitTime)
+	}
+	s.lastVC = vc
+	s.busy = true
+	ser := sim.Time(float64(p.bytes) / s.bw * 1e12)
+	// Typed event: finishTx recovers (p, n, vc) from s itself —
+	// lastVC and the queue head are frozen while the server is busy.
+	f.k.AfterEvent(ser, f.hid, evFinishTx, int64(s.idx), 0)
+	return true
 }
 
 // finishTx completes serialization of p at s: counts flits, frees s's

@@ -8,20 +8,23 @@ package network
 // path allocation-free; the AllocsPerRun gates in alloc_test.go pin that.
 
 // PoolStats reports packet-arena activity for one fabric. Allocated counts
-// arena growth (fresh Packet values), Recycled counts free-list reuse; in
-// steady state Recycled dwarfs Allocated and the arena size equals the
-// high-water mark of simultaneously live packets.
+// packets issued from the arena cursor (fresh Packet values on a cold
+// fabric, warm spares on a reused one), Recycled counts free-list reuse;
+// in steady state Recycled dwarfs Allocated and the arena size equals the
+// high-water mark of simultaneously live packets. A reused fabric reports
+// the same stats as a fresh one running the same workload — Arena is the
+// cursor position, not the backing array's historical high-water mark.
 type PoolStats struct {
-	Allocated uint64 // fresh packets added to the arena
+	Allocated uint64 // packets issued past the arena cursor
 	Recycled  uint64 // packets served from the free list
-	Arena     int    // total packets in the arena (live + free)
+	Arena     int    // packets issued this run (live + free)
 	Free      int    // packets currently on the free list
 }
 
 // PoolStats returns the fabric's current packet-arena statistics.
 func (f *Fabric) PoolStats() PoolStats {
 	s := f.pool.stats
-	s.Arena = len(f.pool.arena)
+	s.Arena = f.pool.next
 	s.Free = len(f.pool.free)
 	return s
 }
@@ -29,11 +32,29 @@ func (f *Fabric) PoolStats() PoolStats {
 // packetPool is a per-fabric arena of Packets with a LIFO free list. LIFO
 // keeps the hottest (cache-resident) packet at hand, and — unlike
 // sync.Pool — is deterministic and survives GC, both of which the
-// simulator requires.
+// simulator requires. next is the warm-reuse cursor: slots below it are in
+// circulation this run, slots at or above it are populated-but-unissued
+// survivors of a previous run (see reset), handed out before the arena
+// grows so a warm fabric replays a fresh fabric's pool behaviour exactly —
+// Allocated counts cursor advances, not heap allocations, keeping
+// PoolStats identical between the two.
 type packetPool struct {
 	arena []*Packet // every packet ever created; Packet.idx indexes this
 	free  []int32   // arena slots available for reuse
+	next  int       // arena slots issued this run; arena[next:] are warm spares
 	stats PoolStats
+}
+
+// reset rewinds the pool for fabric reuse: every arena slot becomes a warm
+// spare again and the stats start over. Message references are dropped so
+// a finished run's transfers do not outlive it.
+func (pl *packetPool) reset() {
+	for _, p := range pl.arena {
+		p.msg = nil
+	}
+	pl.free = pl.free[:0]
+	pl.next = 0
+	pl.stats = PoolStats{}
 }
 
 // get returns a reset packet. With recycle disabled (Params.NoRecycle) it
@@ -48,9 +69,16 @@ func (f *Fabric) allocPacket() *Packet {
 		p.reset()
 		return p
 	}
+	pool.stats.Allocated++
+	if pool.next < len(pool.arena) {
+		p := pool.arena[pool.next]
+		pool.next++
+		p.reset()
+		return p
+	}
 	p := &Packet{idx: int32(len(pool.arena)), hop: -1}
 	pool.arena = append(pool.arena, p)
-	pool.stats.Allocated++
+	pool.next = len(pool.arena)
 	return p
 }
 
@@ -151,19 +179,28 @@ func (f *Fabric) registerWaiter(s, n *server) {
 }
 
 // flushWaiters snapshots s's current waiters for a batched wake and
-// schedules the single evWake event that re-arbitrates them. Bumping
-// wakeGen invalidates the snapshot's registrations, so a waiter that is
-// still blocked when woken simply re-registers. Late registrations (after
-// the snapshot, before the wake fires) land in the fresh s.waiters slice
-// and wait for the next flush — exactly the semantics the per-waiter
-// closure scheme had.
+// re-arbitrates them in the single evWake that follows. Bumping wakeGen
+// invalidates the snapshot's registrations, so a waiter that is still
+// blocked when woken simply re-registers. Late registrations (after the
+// snapshot, before the wake fires) land in the fresh s.waiters slice and
+// wait for the next flush — exactly the semantics the per-waiter closure
+// scheme had.
+//
+// The wake prefers the kernel's tail-call slot over a queued zero-delay
+// event: when nothing else is pending at the current timestamp the
+// continuation runs in exactly the queue position AfterEvent(0) would
+// have used, but without a heap push/pop — wakes are the third-largest
+// event class on the packet path. TryTailCall refuses whenever the
+// ordering would differ, and the queued event remains the fallback.
 func (f *Fabric) flushWaiters(s *server) {
 	if len(s.waiters) == 0 {
 		return
 	}
 	s.wakeGen++
 	s.waiters, s.waking = s.waking[:0], s.waiters
-	f.k.AfterEvent(0, f.hid, evWake, int64(s.idx), 0)
+	if !f.k.TryTailCall(f.hid, evWake, int64(s.idx), 0) {
+		f.k.AfterEvent(0, f.hid, evWake, int64(s.idx), 0)
+	}
 }
 
 // wakeWaiters runs the batched wake: one kernel event re-arbitrating every

@@ -1,0 +1,94 @@
+package network
+
+// This file holds the fabric's warm-reuse path. Building a Fabric is the
+// single largest allocation source in an ensemble run (half of all bytes:
+// per-server queues, slabs, counters, the routing engine), and every seed
+// of every campaign point used to pay it. Reset rewinds an existing
+// fabric to its just-constructed state in place, so an ensemble worker
+// constructs one machine and replays it for every run assigned to its
+// slot. The invariant is behavioural identity: a reset fabric must
+// produce byte-identical results and identical observable stats to a
+// freshly constructed one with the same parameters and seed
+// (TestMachineResetEquivalence pins this end to end).
+
+// reset rewinds one server to its post-construction state, keeping every
+// backing array (queues, occ, waiter slabs) at its grown capacity.
+func (s *server) reset() {
+	for vc := range s.queues {
+		q := &s.queues[vc]
+		for i := q.head; i < len(q.buf); i++ {
+			q.buf[i] = nil
+		}
+		q.buf = q.buf[:0]
+		q.head = 0
+		s.occ[vc] = 0
+	}
+	s.occTotal = 0
+	s.nonEmpty = 0
+	s.busy = false
+	s.lastVC = 0
+	s.blocked = false
+	s.stallAt = 0
+	s.occInt = 0
+	s.occAt = 0
+	s.loadSample = 0
+	s.loadSampleAt = 0
+	s.loadIntMark = 0
+	for i := range s.waiters {
+		s.waiters[i] = nil
+	}
+	s.waiters = s.waiters[:0]
+	for i := range s.waking {
+		s.waking[i] = nil
+	}
+	s.waking = s.waking[:0]
+	s.wakeGen = 0
+	s.waitingOn = s.waitingOn[:0]
+}
+
+// Reset zeroes every counter in place, keeping the backing slabs.
+func (c *Counters) Reset() {
+	for r := range c.Flits {
+		fl, st := c.Flits[r], c.Stalls[r]
+		for t := range fl {
+			fl[t] = 0
+			st[t] = 0
+		}
+	}
+	for n := range c.ORBTimeSum {
+		c.ORBTimeSum[n] = 0
+		c.ORBCount[n] = 0
+	}
+}
+
+// Reset rewinds the fabric to its just-constructed state for the given
+// seed, reusing every allocation: server queues and slabs, the packet
+// arena, the counter slabs, and the routing engine's scratch all keep
+// their capacity. The caller owns the kernel lifecycle — the fabric's
+// handler registration survives a kernel Reset, so the pair (kernel,
+// fabric) resets as a unit (see core.Machine).
+//
+// Reset must only be called on a drained fabric (all sent traffic
+// delivered, kernel queue empty); resetting mid-flight discards packets
+// without firing their messages' Done signals.
+func (f *Fabric) Reset(seed int64) {
+	for _, s := range f.servers {
+		s.reset()
+	}
+	f.counters.Reset()
+	f.pool.reset()
+	// Reseeding the existing source restarts the identical stream a fresh
+	// rand.New(rand.NewSource(seed)) would produce, without the two
+	// allocations.
+	f.rng.Seed(seed)
+
+	f.PacketsSent = 0
+	f.PacketsDelivered = 0
+	f.MinimalTaken = 0
+	f.NonMinimalTaken = 0
+	f.dataDelivered = 0
+	f.MinimalTransit = 0
+	f.MinimalCount = 0
+	f.NonMinimalTransit = 0
+	f.NonMinimalCount = 0
+}

@@ -7,7 +7,10 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -32,8 +35,17 @@ func Workers(j int) int {
 //
 // All n tasks are attempted even if some fail; the error of the lowest
 // failing index is returned, matching what a sequential loop would have
-// reported first. With workers <= 1 the tasks run inline on the calling
-// goroutine in index order.
+// reported first. On error the returned slice is still the full n-length
+// result set — every index that succeeded holds its computed value, and
+// failed indices hold T's zero value. Callers that paid for n expensive
+// tasks can salvage the survivors (ensemble sweeps drop the failed seeds
+// rather than rerun the campaign); callers that need all-or-nothing
+// semantics simply discard the slice when err != nil. With workers <= 1
+// the tasks run inline on the calling goroutine in index order, with the
+// same contract.
+//
+// Worker goroutines are labeled with pprof tag worker=<slot>, so CPU
+// profiles taken during a parallel map attribute samples per pool slot.
 func Map[T any](workers, n int, fn func(worker, index int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if n == 0 {
@@ -42,41 +54,59 @@ func Map[T any](workers, n int, fn func(worker, index int) (T, error)) ([]T, err
 	if workers > n {
 		workers = n
 	}
+	errs := make([]error, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			v, err := fn(0, i)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = v
+			out[i] = runTask(fn, 0, i, errs)
 		}
-		return out, nil
+		return out, firstError(errs)
 	}
-	errs := make([]error, n)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				// Distinct goroutines write disjoint indices, so the
-				// result and error slices need no locking.
-				out[i], errs[i] = fn(worker, i)
-			}
+			pprof.Do(context.Background(),
+				pprof.Labels("worker", strconv.Itoa(worker)),
+				func(context.Context) {
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= n {
+							return
+						}
+						// Distinct goroutines write disjoint indices, so
+						// the result and error slices need no locking.
+						out[i] = runTask(fn, worker, i, errs)
+					}
+				})
 		}(w)
 	}
 	wg.Wait()
+	return out, firstError(errs)
+}
+
+// runTask executes one task, recording its error and mapping a failed
+// task's value to T's zero value so callers never consume the partial
+// value of a failed computation.
+func runTask[T any](fn func(worker, index int) (T, error), worker, i int, errs []error) T {
+	v, err := fn(worker, i)
+	if err != nil {
+		errs[i] = err
+		var zero T
+		return zero
+	}
+	return v
+}
+
+// firstError returns the error at the lowest index, or nil.
+func firstError(errs []error) error {
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // ForEach is Map for tasks with no result value.

@@ -62,6 +62,43 @@ func TestMapReturnsLowestIndexError(t *testing.T) {
 	}
 }
 
+// TestMapReturnsPartialResultsOnError pins the salvage contract: when
+// some tasks fail, the returned slice still carries every successful
+// index's value (failed indices hold the zero value), alongside the
+// lowest-index error. All n tasks must have been attempted, on both the
+// inline and the pooled path.
+func TestMapReturnsPartialResultsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 8} {
+		var attempted atomic.Int64
+		out, err := Map(workers, 20, func(worker, index int) (int, error) {
+			attempted.Add(1)
+			if index%5 == 2 { // fails 2, 7, 12, 17
+				return -1, boom
+			}
+			return index * 10, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err=%v, want %v", workers, err, boom)
+		}
+		if got := attempted.Load(); got != 20 {
+			t.Fatalf("workers=%d: attempted %d tasks, want all 20", workers, got)
+		}
+		if len(out) != 20 {
+			t.Fatalf("workers=%d: len(out)=%d, want 20 despite error", workers, len(out))
+		}
+		for i, v := range out {
+			want := i * 10
+			if i%5 == 2 {
+				want = 0 // failed index: zero value, not fn's return
+			}
+			if v != want {
+				t.Fatalf("workers=%d: out[%d]=%d, want %d", workers, i, v, want)
+			}
+		}
+	}
+}
+
 func TestMapWorkerIndexStaysInPool(t *testing.T) {
 	const workers = 4
 	var used [workers]atomic.Int64

@@ -57,7 +57,8 @@ func (e *event) less(o *event) bool {
 // eventHeap is an inline 4-ary min-heap of event values. A 4-ary layout
 // halves the tree depth of sift-down (the hot operation in a DES where
 // most pushes are near-future) and avoids container/heap's interface
-// boxing; this is the single hottest structure in the simulator.
+// boxing; together with the same-timestamp band below it is the hottest
+// structure in the simulator.
 type eventHeap []event
 
 func (h *eventHeap) push(e event) {
@@ -108,6 +109,64 @@ func (h *eventHeap) pop() event {
 	return top
 }
 
+// bandEntry is one event in the same-timestamp band: a callback known to
+// fire at the current virtual time, so it carries neither a timestamp nor
+// a sequence number (FIFO position in the band IS its sequence order).
+type bandEntry struct {
+	fn  func()
+	pay uint64
+}
+
+// band is the same-timestamp insertion band: a FIFO ring of events
+// scheduled for the CURRENT virtual time. Scheduling at t == now is the
+// hot degenerate case of a DES heap — zero-delay wakes, signal fires, and
+// proc handoffs all land there, and pushing them through the 4-ary heap
+// costs a full sift up and a full sift down each even though their
+// ordering is forced (they always run after everything already queued at
+// now, in scheduling order). The band makes them two pointer moves
+// instead. The drain rule in step preserves exact (t, seq) order: heap
+// events at the current time were all scheduled before now advanced — so
+// with strictly smaller sequence numbers than any band entry — and run
+// first; band entries then run in append order. The band fully drains
+// before virtual time advances, so the backing array is reused forever
+// after warmup.
+type band struct {
+	buf  []bandEntry
+	head int
+}
+
+func (b *band) empty() bool { return b.head == len(b.buf) }
+func (b *band) len() int    { return len(b.buf) - b.head }
+
+func (b *band) push(e bandEntry) { b.buf = append(b.buf, e) }
+
+func (b *band) take() bandEntry {
+	e := b.buf[b.head]
+	b.buf[b.head] = bandEntry{} // release the closure for GC
+	b.head++
+	if b.head == len(b.buf) {
+		b.buf = b.buf[:0]
+		b.head = 0
+	}
+	return e
+}
+
+func (b *band) reset() {
+	for i := range b.buf {
+		b.buf[i] = bandEntry{}
+	}
+	b.buf = b.buf[:0]
+	b.head = 0
+}
+
+// tailCall is a typed event deferred to run immediately after the current
+// event's handler returns (see TryTailCall).
+type tailCall struct {
+	h    HandlerID
+	kind uint8
+	a, b int64
+}
+
 // Kernel is a deterministic discrete-event simulator.
 //
 // The zero value is not usable; construct with NewKernel. A Kernel is not
@@ -117,7 +176,10 @@ type Kernel struct {
 	now      Time
 	seq      uint64
 	events   eventHeap
-	handlers []Handler // typed-event dispatch table, by HandlerID
+	band     band       // events at t == now, FIFO (see band)
+	tail     []tailCall // deferred continuations of the current event
+	inEvent  bool       // an event handler is currently executing
+	handlers []Handler  // typed-event dispatch table, by HandlerID
 	stopped  bool
 	parked   chan struct{} // procs hand control back to the kernel here
 	nProcs   int           // live (spawned, not yet finished) procs
@@ -127,8 +189,13 @@ type Kernel struct {
 // KernelStats counts kernel-level activity, useful in benchmarks and tests.
 type KernelStats struct {
 	EventsExecuted uint64
-	ProcsSpawned   uint64
-	ProcSwitches   uint64
+	// TailCalls counts typed events that ran as direct continuations of
+	// the event that scheduled them (TryTailCall) instead of through the
+	// queue. They do the same model work as a zero-delay event but are
+	// not counted in EventsExecuted, which tallies queue traffic.
+	TailCalls    uint64
+	ProcsSpawned uint64
+	ProcSwitches uint64
 }
 
 // NewKernel returns an empty kernel at time zero.
@@ -143,7 +210,7 @@ func (k *Kernel) Now() Time { return k.now }
 func (k *Kernel) Stats() KernelStats { return k.stats }
 
 // Pending returns the number of queued events.
-func (k *Kernel) Pending() int { return len(k.events) }
+func (k *Kernel) Pending() int { return len(k.events) + k.band.len() }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // that is always a model bug, and silently reordering would break
@@ -151,6 +218,10 @@ func (k *Kernel) Pending() int { return len(k.events) }
 func (k *Kernel) At(t Time, fn func()) {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	if t == k.now {
+		k.band.push(bandEntry{fn: fn})
+		return
 	}
 	k.seq++
 	k.events.push(event{t: t, seq: k.seq, fn: fn})
@@ -184,9 +255,32 @@ func (k *Kernel) AtEvent(t Time, h HandlerID, kind uint8, a, b int64) {
 	if uint64(a) > maxPayload || uint64(b) > maxPayload {
 		panic(fmt.Sprintf("sim: typed-event payload (%d, %d) outside [0, 2^%d)", a, b, payloadBits))
 	}
+	pay := uint64(kind)<<56 | uint64(h)<<48 | uint64(a)<<payloadBits | uint64(b)
+	if t == k.now {
+		k.band.push(bandEntry{pay: pay})
+		return
+	}
 	k.seq++
-	k.events.push(event{t: t, seq: k.seq,
-		pay: uint64(kind)<<56 | uint64(h)<<48 | uint64(a)<<payloadBits | uint64(b)})
+	k.events.push(event{t: t, seq: k.seq, pay: pay})
+}
+
+// TryTailCall defers a typed event to run as a direct continuation: it
+// fires immediately after the currently executing event's handler returns,
+// without ever entering the queue. That is exactly the queue position a
+// zero-delay AtEvent would occupy — but ONLY when nothing else is pending
+// at the current timestamp, so the call succeeds (and returns true) only
+// then. On false the caller must schedule normally. Multiple tail calls
+// registered during one event run in registration order, still matching
+// zero-delay event semantics.
+func (k *Kernel) TryTailCall(h HandlerID, kind uint8, a, b int64) bool {
+	if !k.inEvent || !k.band.empty() {
+		return false
+	}
+	if len(k.events) > 0 && k.events[0].t == k.now {
+		return false
+	}
+	k.tail = append(k.tail, tailCall{h: h, kind: kind, a: a, b: b})
+	return true
 }
 
 // AfterEvent schedules a typed event d after the current time.
@@ -197,21 +291,53 @@ func (k *Kernel) AfterEvent(d Time, h HandlerID, kind uint8, a, b int64) {
 // Stop makes Run return after the current event completes.
 func (k *Kernel) Stop() { k.stopped = true }
 
+// exec runs one event callback, then drains any tail calls it (or its
+// continuations) registered.
+func (k *Kernel) exec(fn func(), pay uint64) {
+	k.stats.EventsExecuted++
+	k.inEvent = true
+	if fn != nil {
+		fn()
+	} else {
+		k.handlers[pay>>48&0xff].HandleEvent(uint8(pay>>56),
+			int64(pay>>payloadBits&maxPayload), int64(pay&maxPayload))
+	}
+	// Tail calls run back-to-back with the event that registered them;
+	// appends during the loop (a continuation registering its own tail
+	// call) extend it in order.
+	for i := 0; i < len(k.tail); i++ {
+		tc := k.tail[i]
+		k.stats.TailCalls++
+		k.handlers[tc.h].HandleEvent(tc.kind, tc.a, tc.b)
+	}
+	k.tail = k.tail[:0]
+	k.inEvent = false
+}
+
 // step executes the earliest event. Returns false when no events remain.
+//
+// Batch drain of the current timestamp: heap events at t == now first
+// (they were scheduled before now advanced, so they hold the smaller
+// sequence numbers), then the band in FIFO order — exact (t, seq) order
+// without one sift per zero-delay event. Virtual time advances only once
+// both are empty.
 func (k *Kernel) step() bool {
+	if len(k.events) > 0 && k.events[0].t == k.now {
+		e := k.events.pop()
+		k.exec(e.fn, e.pay)
+		return true
+	}
+	if !k.band.empty() {
+		e := k.band.take()
+		k.exec(e.fn, e.pay)
+		return true
+	}
 	if len(k.events) == 0 {
 		return false
 	}
 	e := k.events.pop()
 	k.now = e.t
-	k.stats.EventsExecuted++
-	if e.fn != nil {
-		e.fn()
-	} else {
-		pay := e.pay
-		k.handlers[pay>>48&0xff].HandleEvent(uint8(pay>>56),
-			int64(pay>>payloadBits&maxPayload), int64(pay&maxPayload))
-	}
+	k.exec(e.fn, e.pay)
 	return true
 }
 
@@ -230,7 +356,7 @@ func (k *Kernel) Run() Time {
 func (k *Kernel) RunUntil(deadline Time) Time {
 	k.stopped = false
 	for !k.stopped {
-		if len(k.events) == 0 || k.events[0].t > deadline {
+		if k.band.empty() && (len(k.events) == 0 || k.events[0].t > deadline) {
 			break
 		}
 		k.step()
@@ -239,4 +365,31 @@ func (k *Kernel) RunUntil(deadline Time) Time {
 		k.now = deadline
 	}
 	return k.now
+}
+
+// LiveProcs returns the number of spawned procs that have not finished.
+// A fully drained kernel with live procs means model code is parked on a
+// signal that never fired; such a kernel cannot be safely Reset.
+func (k *Kernel) LiveProcs() int { return k.nProcs }
+
+// Reset rewinds the kernel to time zero with an empty queue and zeroed
+// stats, retaining registered handlers and all queue capacity. It is the
+// reuse path that lets one warm kernel serve many simulation runs without
+// reallocating its event storage; handler IDs issued before the reset
+// stay valid. Reset panics if live procs remain — their goroutines are
+// parked inside model code and would corrupt a new run.
+func (k *Kernel) Reset() {
+	if k.nProcs != 0 {
+		panic(fmt.Sprintf("sim: Reset with %d live procs", k.nProcs))
+	}
+	for i := range k.events {
+		k.events[i] = event{} // release closures for GC
+	}
+	k.events = k.events[:0]
+	k.band.reset()
+	k.tail = k.tail[:0]
+	k.inEvent = false
+	k.now, k.seq = 0, 0
+	k.stopped = false
+	k.stats = KernelStats{}
 }

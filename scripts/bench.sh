@@ -1,18 +1,20 @@
 #!/usr/bin/env bash
-# bench.sh — run the hot-path benchmark suite and emit BENCH_2.json.
+# bench.sh — run the hot-path benchmark suite and emit BENCH_3.json.
 #
 # Measures the three layers of the zero-allocation packet path (kernel
 # event dispatch, routing decision, end-to-end packet delivery) plus the
-# sequential-vs-parallel production ensemble, all with -benchmem, and
-# writes a machine-readable summary next to the repo root. The
-# baseline_pre_pr block in the output is the recorded pre-optimization
-# measurement (commit fa73dce, same benchmark definitions) that the
-# current numbers are compared against.
+# ensemble worker sweep (-j 1,2,4,8), all with -benchmem, and writes a
+# machine-readable summary next to the repo root. The baseline_pre_pr
+# block in the output is the recorded pre-optimization measurement
+# (commit 67da470, same benchmark definitions) that the current numbers
+# are compared against. host_cpus is recorded because the scaling curve
+# is only meaningful where the host allows real parallelism: on a 1-CPU
+# machine every -j point collapses onto sequential throughput.
 #
 # Usage: scripts/bench.sh [output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out=${1:-BENCH_2.json}
+out=${1:-BENCH_3.json}
 
 echo "== sim benchmarks ==" >&2
 sim=$(go test -run xxx -bench 'BenchmarkEventThroughput$|BenchmarkTypedEventThroughput' \
@@ -20,8 +22,9 @@ sim=$(go test -run xxx -bench 'BenchmarkEventThroughput$|BenchmarkTypedEventThro
 echo "== network benchmarks ==" >&2
 net=$(go test -run xxx -bench 'BenchmarkPacketDelivery|BenchmarkAdaptiveRoute$|BenchmarkRouteInto' \
 	-benchmem ./internal/network/)
-echo "== ensemble benchmarks (slow) ==" >&2
-ens=$(go test -run xxx -bench 'BenchmarkEnsemble' -benchtime 3x -benchmem -timeout 60m .)
+echo "== ensemble worker sweep (slow) ==" >&2
+ens=$(go test -run xxx -bench 'BenchmarkEnsembleSequential$|BenchmarkEnsembleWorkers' \
+	-benchtime 3x -benchmem -timeout 60m .)
 
 SIM_OUT="$sim" NET_OUT="$net" ENS_OUT="$ens" OUT="$out" python3 - << 'EOF'
 import json, os, re
@@ -29,7 +32,7 @@ import json, os, re
 def parse(block):
     rows = {}
     for line in block.splitlines():
-        m = re.match(r'(Benchmark\S+)\s+\d+\s+([\d.]+) ns/op(.*)', line.strip())
+        m = re.match(r'(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(.*)', line.strip())
         if not m:
             continue
         name, ns, rest = m.group(1), float(m.group(2)), m.group(3)
@@ -45,24 +48,36 @@ ens = parse(os.environ['ENS_OUT'])
 
 pkt = net['BenchmarkPacketDelivery']
 seq = ens['BenchmarkEnsembleSequential']
-par = ens['BenchmarkEnsembleParallel']
 
-# Pre-optimization numbers, same machine and benchmark definitions,
-# recorded before the zero-allocation hot path landed.
+# Pre-optimization numbers (commit 67da470, BENCH_2.json "current"),
+# same machine and benchmark definitions, recorded before machine reuse
+# and same-timestamp event batching landed.
 baseline = {
-    'commit': 'fa73dce',
-    'ensemble_sequential_ns_op': 7514224871,
-    'ensemble_sequential_B_op': 753055186,
-    'ensemble_sequential_allocs_op': 24340992,
-    'packet_delivery_ns_op': 13651,
-    'packet_delivery_events_per_pkt': 24.02,
-    'packet_delivery_B_op': 1350,
-    'packet_delivery_allocs_op': 46,
-    'adaptive_route_ns_op': 713.7,
-    'adaptive_route_B_op': 108,
-    'adaptive_route_allocs_op': 6,
-    'event_throughput_ns_op': 9.256,
+    'commit': '67da470',
+    'ensemble_sequential_ns_op': 5128026221,
+    'ensemble_sequential_B_op': 100535106,
+    'ensemble_sequential_allocs_op': 622741,
+    'ensemble_parallel_ns_op': 6322861396,
+    'ensemble_parallel_speedup': 0.81,
+    'packet_delivery_ns_op': 9757,
+    'events_per_packet': 22.68,
+    'adaptive_route_ns_op': 748.2,
+    'typed_event_ns_op': 10.72,
 }
+
+workers = {}
+for j in (1, 2, 4, 8):
+    row = ens.get(f'BenchmarkEnsembleWorkers/j{j}')
+    if row:
+        workers[f'j{j}'] = {
+            'ns_op': row['ns_op'],
+            'B_op': row.get('B_per_op'),
+            'allocs_op': row.get('allocs_per_op'),
+            'speedup_vs_j1': 0.0,  # filled below
+        }
+j1 = workers.get('j1', {'ns_op': seq['ns_op']})
+for j, row in workers.items():
+    row['speedup_vs_j1'] = round(j1['ns_op'] / row['ns_op'], 2)
 
 current = {
     'sim': {
@@ -84,25 +99,37 @@ current = {
         'sequential_ns_op': seq['ns_op'],
         'sequential_B_op': seq['B_per_op'],
         'sequential_allocs_op': seq['allocs_per_op'],
-        'parallel_ns_op': par['ns_op'],
-        'parallel_B_op': par['B_per_op'],
-        'parallel_allocs_op': par['allocs_per_op'],
-        'parallel_speedup': round(seq['ns_op'] / par['ns_op'], 2),
+        'worker_sweep': workers,
     },
 }
 
+host_cpus = os.cpu_count()
 report = {
-    'issue': 2,
+    'issue': 3,
     'generated_by': 'scripts/bench.sh',
+    'host_cpus': host_cpus,
+    'host_cpus_note': ('parallel speedup requires host_cpus >= workers; '
+                       'on a 1-CPU host every -j point measures sequential '
+                       'throughput plus scheduling overhead'),
     'baseline_pre_pr': baseline,
     'current': current,
     'sequential_improvement_vs_baseline': round(
         1 - current['ensemble']['sequential_ns_op'] / baseline['ensemble_sequential_ns_op'], 3),
+    'events_per_packet_improvement': round(
+        1 - current['network']['events_per_packet'] / baseline['events_per_packet'], 3),
+    'parallel_speedup_j4': workers.get('j4', {}).get('speedup_vs_j1'),
+    'parallel_speedup_j4_vs_pre_pr_parallel': round(
+        baseline['ensemble_parallel_ns_op'] / workers['j4']['ns_op'], 2) if 'j4' in workers else None,
 }
 with open(os.environ['OUT'], 'w') as f:
     json.dump(report, f, indent=2)
     f.write('\n')
 print(f"wrote {os.environ['OUT']}")
+print(f"host cpus: {host_cpus}")
 print(f"sequential ensemble improvement vs baseline: "
       f"{report['sequential_improvement_vs_baseline']:.1%}")
+print(f"events/packet: {current['network']['events_per_packet']} "
+      f"({report['events_per_packet_improvement']:.1%} better)")
+for j, row in workers.items():
+    print(f"  {j}: {row['ns_op']/1e9:.2f}s  speedup {row['speedup_vs_j1']}x")
 EOF
