@@ -1,0 +1,19 @@
+// Package analyzers assembles the simlint suite: the custom static
+// checks that turn this repository's determinism, reset-coverage, and
+// hot-path conventions into build-time errors. See DESIGN.md, "Static
+// invariants", for each analyzer's contract and annotation grammar.
+package analyzers
+
+import (
+	"repro/internal/analyzers/analysis"
+	"repro/internal/analyzers/detrand"
+	"repro/internal/analyzers/hotpath"
+	"repro/internal/analyzers/resetcheck"
+)
+
+// All is the suite cmd/simlint runs, in reporting order.
+var All = []*analysis.Analyzer{
+	detrand.Analyzer,
+	resetcheck.Analyzer,
+	hotpath.Analyzer,
+}

@@ -1,0 +1,117 @@
+// Package atest is the fixture harness for the simlint analyzers, an
+// analysistest look-alike over internal/analyzers/analysis. Fixture
+// packages live in testdata/src/<importpath>/ and mark expected findings
+// with trailing comments:
+//
+//	bad() // want "regexp matching the diagnostic"
+//
+// Multiple expectations on one line stack as further quoted regexps:
+//
+//	bad2() // want "first finding" "second finding"
+//
+// Run fails the test if any diagnostic lacks a matching expectation on
+// its exact line, or any expectation goes unmatched — so a fixture with
+// no want comments doubles as a "must stay clean" assertion.
+package atest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analyzers/analysis"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one `// want` regexp at one file line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads testdata/src/<pkgpath> (testdata relative to the calling
+// test's directory), applies the analyzers, and checks the diagnostics
+// against the fixture's want comments.
+func Run(t *testing.T, testdata, pkgpath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	srcRoot, err := filepath.Abs(filepath.Join(testdata, "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := analysis.NewLoader(srcRoot, "")
+	pkg, err := loader.Load(pkgpath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgpath, err)
+	}
+	diags, err := analysis.Run(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", pkgpath, err)
+	}
+
+	expects := collectWants(t, pkg.Dir)
+	for _, d := range diags {
+		if !match(expects, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+// collectWants scans every .go file of the fixture for want comments.
+func collectWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*expectation
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, ent.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+				re, err := regexp.Compile(q[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, q[1], err)
+				}
+				out = append(out, &expectation{file: path, line: i + 1, re: re})
+			}
+		}
+	}
+	return out
+}
+
+// match consumes the first unmatched expectation on the diagnostic's
+// line whose regexp matches its message.
+func match(expects []*expectation, d analysis.Diagnostic) bool {
+	for _, e := range expects {
+		if e.matched || e.line != d.Pos.Line || e.file != d.Pos.Filename {
+			continue
+		}
+		if e.re.MatchString(d.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}

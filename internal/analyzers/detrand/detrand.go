@@ -1,0 +1,138 @@
+// Package detrand implements the simlint determinism analyzer.
+//
+// The reproduction's headline guarantee is bit-identical results for a
+// given seed, sequential or parallel (DESIGN.md "Determinism"). Inside
+// the simulation packages that guarantee outlaws four constructs:
+//
+//   - time.Now — wall-clock time in model code makes results depend on
+//     the host; virtual time comes from sim.Kernel.Now.
+//   - the global math/rand functions (rand.Intn, rand.Float64, ...) —
+//     they draw from process-wide shared state, so any second consumer
+//     (another worker, a test) perturbs the stream. Every random draw
+//     must come from an explicitly threaded *rand.Rand.
+//   - ranging over a map — iteration order is randomized per run, so
+//     any map-range whose body can reach simulation state or output is
+//     a nondeterminism seed. Order-insensitive reductions are
+//     suppressed site by site with //simlint:allow detrand <reason>.
+//   - go and select statements — scheduling order is the runtime's
+//     choice. All concurrency is quarantined in internal/parallel,
+//     whose merge discipline makes worker order unobservable; sim's
+//     coroutine handoff (strictly one runnable goroutine) carries an
+//     allow annotation.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analyzers/analysis"
+)
+
+// Analyzer is the detrand pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "forbid wall-clock time, global math/rand state, map iteration, " +
+		"and goroutine scheduling in simulation packages",
+	Run: run,
+}
+
+// Scope lists the module-relative package paths (and their subtrees)
+// the analyzer applies to: the packages whose execution can reach
+// simulation state or run output.
+var Scope = []string{
+	"internal/sim",
+	"internal/network",
+	"internal/routing",
+	"internal/apps",
+	"internal/mpi",
+	"internal/workload",
+	"internal/core",
+}
+
+// concurrencyExempt names the one package allowed to spawn goroutines:
+// the parallel runner, whose deterministic merge makes scheduling order
+// unobservable.
+const concurrencyExempt = "internal/parallel"
+
+// randConstructors are the math/rand package-level functions that build
+// explicit generators rather than touching the global one.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// inScope reports whether the package path falls under any entry of
+// Scope (entries are matched as whole path segments, with or without
+// the module-path prefix).
+func inScope(pkgPath string, scope []string) bool {
+	for _, s := range scope {
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) ||
+			strings.HasPrefix(pkgPath, s+"/") || strings.Contains(pkgPath, "/"+s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path(), Scope) {
+		return nil
+	}
+	exemptConc := inScope(pass.Pkg.Path(), []string{concurrencyExempt})
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				checkSelector(pass, x)
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.Types[x.X].Type; t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						pass.Reportf(x.Pos(),
+							"map iteration order is nondeterministic; iterate a sorted key slice or annotate an order-insensitive reduction")
+					}
+				}
+			case *ast.GoStmt:
+				if !exemptConc {
+					pass.Reportf(x.Pos(),
+						"go statement outside internal/parallel: goroutine scheduling is nondeterministic")
+				}
+			case *ast.SelectStmt:
+				if !exemptConc {
+					pass.Reportf(x.Pos(),
+						"select statement outside internal/parallel: case choice is nondeterministic")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSelector flags uses of time.Now and of math/rand's global-state
+// package-level functions.
+func checkSelector(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	obj, ok := pass.TypesInfo.Uses[sel.Sel]
+	if !ok {
+		return
+	}
+	fn, ok := obj.(*types.Func)
+	if ok && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "time":
+			if fn.Name() == "Now" && fn.Type().(*types.Signature).Recv() == nil {
+				pass.Reportf(sel.Pos(),
+					"time.Now in simulation code: results would depend on the host clock; use the kernel's virtual time")
+			}
+		case "math/rand", "math/rand/v2":
+			sig := fn.Type().(*types.Signature)
+			if sig.Recv() == nil && !randConstructors[fn.Name()] {
+				pass.Reportf(sel.Pos(),
+					"global math/rand.%s draws from shared process-wide state; use an explicit per-run *rand.Rand stream", fn.Name())
+			}
+		}
+	}
+}

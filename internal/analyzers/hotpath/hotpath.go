@@ -1,0 +1,393 @@
+// Package hotpath implements the simlint hot-path allocation analyzer.
+//
+// The steady-state packet path is pinned at zero allocations per event,
+// per hop, and per routing decision by AllocsPerRun gates — but those
+// tests only catch a regression after it lands, and only through the
+// specific traffic they drive. Functions annotated
+//
+//	//simlint:hotpath
+//
+// (a standalone line in the function's doc comment) are additionally
+// held to a mechanical discipline that keeps the allocator out
+// structurally:
+//
+//   - no escaping closures: a func literal is allowed only when called
+//     immediately, or bound to a local variable that is only ever
+//     called (the non-escaping pattern the compiler stack-allocates);
+//   - append only onto parameter- or receiver-rooted slices (arenas,
+//     slabs, and caller-provided buffers — storage whose capacity was
+//     provisioned up front), never onto fresh locals or globals;
+//   - no boxing: a concrete value must not convert to an interface
+//     type in a call argument, assignment, or return;
+//   - no fmt or log calls — formatting allocates; cold-path panics
+//     belong in un-annotated helper functions.
+//
+// Findings are suppressed line by line with //simlint:allow hotpath
+// <reason> when a construct is deliberate and proven cold.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analyzers/analysis"
+)
+
+// Analyzer is the hotpath pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: "functions annotated //simlint:hotpath must avoid escaping closures, " +
+		"appends to non-parameter slices, interface boxing, and fmt/log calls",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !analysis.HasDirective(fd.Doc, "hotpath") {
+				continue
+			}
+			check(pass, fd)
+		}
+	}
+	return nil
+}
+
+// check applies the hot-path rules to one annotated function.
+func check(pass *analysis.Pass, fd *ast.FuncDecl) {
+	rooted := paramRooted(pass, fd)
+	callOnly := localCallOnlyClosures(pass, fd.Body)
+
+	analysis.WithParents(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if !closureAllowed(x, stack, callOnly) {
+				pass.Reportf(x.Pos(),
+					"closure may escape (allocates its context); hot paths use typed events or local call-only literals")
+			}
+		case *ast.CallExpr:
+			checkCall(pass, x, rooted)
+		case *ast.AssignStmt:
+			checkAssign(pass, x)
+		case *ast.ValueSpec:
+			checkValueSpec(pass, x)
+		case *ast.ReturnStmt:
+			// A return belongs to its nearest enclosing function: inside
+			// a nested literal it is checked against the literal's own
+			// results, not the annotated function's.
+			results := fd.Type.Results
+			for i := len(stack) - 1; i >= 0; i-- {
+				if lit, ok := stack[i].(*ast.FuncLit); ok {
+					results = lit.Type.Results
+					break
+				}
+			}
+			checkReturn(pass, x, results)
+		}
+		return true
+	})
+}
+
+// paramRooted computes the set of objects rooted in the function's
+// receiver or parameters, propagated through local aliases in source
+// order (pool := &f.pool keeps pool parameter-rooted). A local bound to
+// the result of an append-style call — one whose FIRST argument is a
+// rooted slice, like buf := e.intraGroup(e.nonBufs[cur][:0], a, b) —
+// inherits rootedness too: by that calling convention the result aliases
+// the caller-provided buffer's storage.
+func paramRooted(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	rooted := map[types.Object]bool{}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					rooted[obj] = true
+				}
+			}
+		}
+	}
+	addFields(fd.Recv)
+	addFields(fd.Type.Params)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			rhs := assign.Rhs[i]
+			if call, ok := rhs.(*ast.CallExpr); ok && len(call.Args) > 0 {
+				// Append-style: f(buf, ...) returns storage rooted where
+				// buf is.
+				rhs = call.Args[0]
+			}
+			root := analysis.RootIdent(rhs)
+			if root == nil {
+				continue
+			}
+			robj := pass.TypesInfo.Uses[root]
+			if robj == nil {
+				robj = pass.TypesInfo.Defs[root]
+			}
+			if robj == nil || !rooted[robj] {
+				continue
+			}
+			if obj := objectOf(pass, id); obj != nil {
+				rooted[obj] = true
+			}
+		}
+		return true
+	})
+	return rooted
+}
+
+// localCallOnlyClosures finds func literals bound to a local variable
+// whose every other use is a direct call — the pattern the compiler
+// keeps off the heap.
+func localCallOnlyClosures(pass *analysis.Pass, body *ast.BlockStmt) map[*ast.FuncLit]bool {
+	// Bindings: ident object -> literal.
+	bound := map[types.Object]*ast.FuncLit{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			lit, ok := assign.Rhs[i].(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			if obj := objectOf(pass, id); obj != nil {
+				bound[obj] = lit
+			}
+		}
+		return true
+	})
+	if len(bound) == 0 {
+		return nil
+	}
+	escaped := map[types.Object]bool{}
+	analysis.WithParents(body, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, isBound := bound[obj]; !isBound {
+			return true
+		}
+		// A use is safe only as the Fun of a call.
+		if len(stack) > 0 {
+			if call, ok := stack[len(stack)-1].(*ast.CallExpr); ok && call.Fun == id {
+				return true
+			}
+		}
+		escaped[obj] = true
+		return true
+	})
+	ok := map[*ast.FuncLit]bool{}
+	for obj, lit := range bound {
+		if !escaped[obj] {
+			ok[lit] = true
+		}
+	}
+	return ok
+}
+
+// closureAllowed reports whether a func literal is in one of the two
+// non-escaping positions.
+func closureAllowed(lit *ast.FuncLit, stack []ast.Node, callOnly map[*ast.FuncLit]bool) bool {
+	if callOnly[lit] {
+		return true
+	}
+	if len(stack) == 0 {
+		return false
+	}
+	switch p := stack[len(stack)-1].(type) {
+	case *ast.CallExpr:
+		return p.Fun == lit // immediately invoked
+	case *ast.ParenExpr:
+		if len(stack) >= 2 {
+			if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok {
+				return call.Fun == p
+			}
+		}
+	}
+	return false
+}
+
+// checkCall flags fmt/log calls, appends to non-rooted slices, and
+// concrete->interface argument boxing.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, rooted map[types.Object]bool) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if base, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pass.TypesInfo.Uses[base].(*types.PkgName); ok {
+				switch pn.Imported().Path() {
+				case "fmt", "log", "log/slog":
+					pass.Reportf(call.Pos(),
+						"%s.%s call on a hot path: formatting allocates; move it to a cold helper", pn.Imported().Name(), sel.Sel.Name)
+					return
+				}
+			}
+		}
+	}
+
+	// Builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := objectOf(pass, id).(*types.Builtin); ok {
+			if b.Name() == "append" && len(call.Args) > 0 {
+				checkAppend(pass, call, rooted)
+			}
+			return
+		}
+	}
+
+	// Conversions: T(x) with interface T.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && types.IsInterface(tv.Type) && isConcrete(pass, call.Args[0]) {
+			pass.Reportf(call.Pos(), "conversion boxes concrete value into interface %s", tv.Type.String())
+		}
+		return
+	}
+
+	// Ordinary calls: compare argument types against parameter types.
+	sig, ok := pass.TypesInfo.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				if i == params.Len()-1 {
+					pt = params.At(params.Len() - 1).Type()
+				}
+			} else {
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		if isConcrete(pass, arg) {
+			pass.Reportf(arg.Pos(),
+				"concrete value boxed into interface parameter %s; boxing allocates on the hot path", pt.String())
+		}
+	}
+}
+
+// checkAppend enforces the parameter-rooted-slice rule.
+func checkAppend(pass *analysis.Pass, call *ast.CallExpr, rooted map[types.Object]bool) {
+	root := analysis.RootIdent(call.Args[0])
+	if root == nil {
+		pass.Reportf(call.Pos(), "append onto a non-parameter slice; hot-path appends must target preallocated parameter- or receiver-rooted storage")
+		return
+	}
+	obj := objectOf(pass, root)
+	if obj == nil || !rooted[obj] {
+		pass.Reportf(call.Pos(),
+			"append onto %s, which is not parameter- or receiver-rooted; hot-path appends must target preallocated storage", root.Name)
+	}
+}
+
+// checkAssign flags concrete->interface boxing in plain assignments.
+func checkAssign(pass *analysis.Pass, assign *ast.AssignStmt) {
+	if assign.Tok != token.ASSIGN || len(assign.Lhs) != len(assign.Rhs) {
+		return
+	}
+	for i, lhs := range assign.Lhs {
+		lt := pass.TypesInfo.Types[lhs].Type
+		if lt == nil || !types.IsInterface(lt) {
+			continue
+		}
+		if isConcrete(pass, assign.Rhs[i]) {
+			pass.Reportf(assign.Rhs[i].Pos(), "concrete value boxed into interface %s on assignment", lt.String())
+		}
+	}
+}
+
+// checkValueSpec flags var x I = concrete declarations.
+func checkValueSpec(pass *analysis.Pass, spec *ast.ValueSpec) {
+	if spec.Type == nil {
+		return
+	}
+	t := pass.TypesInfo.Types[spec.Type].Type
+	if t == nil || !types.IsInterface(t) {
+		return
+	}
+	for _, v := range spec.Values {
+		if isConcrete(pass, v) {
+			pass.Reportf(v.Pos(), "concrete value boxed into interface %s in declaration", t.String())
+		}
+	}
+}
+
+// checkReturn flags boxing at return sites of interface-returning
+// signatures.
+func checkReturn(pass *analysis.Pass, ret *ast.ReturnStmt, results *ast.FieldList) {
+	if results == nil || len(ret.Results) == 0 {
+		return
+	}
+	var resultTypes []types.Type
+	for _, f := range results.List {
+		t := pass.TypesInfo.Types[f.Type].Type
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			resultTypes = append(resultTypes, t)
+		}
+	}
+	if len(ret.Results) != len(resultTypes) {
+		return // single call expanding to multiple results
+	}
+	for i, r := range ret.Results {
+		if resultTypes[i] != nil && types.IsInterface(resultTypes[i]) && isConcrete(pass, r) {
+			pass.Reportf(r.Pos(), "concrete value boxed into interface return %s", resultTypes[i].String())
+		}
+	}
+}
+
+// isConcrete reports whether expr has a concrete (non-interface,
+// non-nil) type.
+func isConcrete(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if basic, ok := tv.Type.(*types.Basic); ok && basic.Kind() == types.UntypedNil {
+		return false
+	}
+	return !types.IsInterface(tv.Type)
+}
+
+func objectOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[id]
+}

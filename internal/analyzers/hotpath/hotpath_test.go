@@ -1,0 +1,17 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/atest"
+	"repro/internal/analyzers/hotpath"
+)
+
+// TestHotpath runs the analyzer over one fixture package holding an
+// annotated function committing every forbidden construct (flagged.go)
+// and an annotated function using every allowed pattern (clean.go) —
+// including the append-style buffer pipeline and call-only closures the
+// routing engine relies on.
+func TestHotpath(t *testing.T) {
+	atest.Run(t, "testdata", "hot", hotpath.Analyzer)
+}

@@ -1,0 +1,35 @@
+package hot
+
+import "fmt"
+
+var keep func() int
+
+func eat(v any) { _ = v }
+
+func fresh() []int { return nil }
+
+// bad commits every construct the analyzer forbids, one per line.
+//
+//simlint:hotpath
+func bad(k int) any {
+	local := []int{}
+	local = append(local, k)      // want "append onto local, which is not parameter- or receiver-rooted"
+	_ = append(fresh(), k)        // want "append onto a non-parameter slice"
+	fmt.Println(k)                // want "fmt.Println call on a hot path"
+	cb := func() int { return k } // want "closure may escape"
+	keep = cb                     // the non-call use that makes the literal above escape
+	eat(k)                        // want "concrete value boxed into interface parameter"
+	var boxed any = k             // want "concrete value boxed into interface"
+	_ = boxed
+	_ = any(k) // want "conversion boxes concrete value into interface"
+	return k   // want "concrete value boxed into interface return"
+}
+
+// cold is the un-annotated escape valve: the same constructs are fine
+// off the hot path (no want comments).
+func cold(k int) any {
+	fmt.Println(k)
+	local := []int{}
+	local = append(local, k)
+	return local
+}

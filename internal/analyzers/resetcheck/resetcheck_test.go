@@ -1,0 +1,16 @@
+package resetcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/atest"
+	"repro/internal/analyzers/resetcheck"
+)
+
+// TestResetcheck runs the analyzer over one fixture package holding both
+// the failure cases (a struct that grew a field after Reset was written,
+// mirroring the warm-reuse regression the analyzer exists to catch) and
+// a struct exercising every coverage rule cleanly.
+func TestResetcheck(t *testing.T) {
+	atest.Run(t, "testdata", "resetpkg", resetcheck.Analyzer)
+}

@@ -1,0 +1,54 @@
+package resetpkg
+
+// gauge is rewound element-wise by machine.Reset below.
+type gauge struct {
+	v   int
+	ema float64
+}
+
+func (g *gauge) reset() {
+	g.v = 0
+	g.ema = 0
+}
+
+// machine exercises every coverage rule: direct assignment, range-and-
+// rewind, builtin call argument, method call on a field, local alias,
+// same-receiver helper, address-taken, and the resetsafe annotation.
+type machine struct {
+	cfg     string //simlint:resetsafe configuration survives reuse by design
+	ticks   int
+	gauges  []gauge
+	byID    map[int]*gauge
+	prim    gauge
+	scratch []int
+	parts   [2][]int
+	seq     uint64
+}
+
+func (m *machine) Reset() {
+	m.ticks = 0
+	for i := range m.gauges { // element-wise rewind covers gauges
+		m.gauges[i].reset()
+	}
+	clear(m.byID)        // builtin argument covers byID
+	m.prim.reset()       // method call on a field covers prim
+	buf := m.scratch[:0] // local alias rooted at scratch
+	m.scratch = buf
+	m.resetParts() // same-receiver helper covers parts
+	take(&m.seq)   // address-taken covers seq
+}
+
+func (m *machine) resetParts() {
+	for i := range m.parts {
+		m.parts[i] = m.parts[i][:0]
+	}
+}
+
+func take(p *uint64) { *p = 0 }
+
+// blank shows the wholesale form: *recv = T{} covers every field.
+type blank struct {
+	a, b int
+}
+
+func (z *blank) Reset() { *z = blank{} }

@@ -30,9 +30,9 @@ import (
 // is not safe for concurrent use: parallel ensembles give each worker its
 // own Machine (see internal/experiments' machinePool).
 type Machine struct {
-	Topo  *topology.Topology
-	Net   network.Params
-	Route routing.Config
+	Topo  *topology.Topology //simlint:resetsafe public configuration; Reset discards run state, not config
+	Net   network.Params     //simlint:resetsafe public configuration; Reset discards run state, not config
+	Route routing.Config     //simlint:resetsafe public configuration; Reset discards run state, not config
 
 	// Warm-reuse state: the kernel/fabric pair from the previous run,
 	// reset in place for the next one while the public configuration
@@ -42,9 +42,9 @@ type Machine struct {
 	// machines cheap enough to replay hundreds of seeds.
 	k         *sim.Kernel
 	fab       *network.Fabric
-	warmTopo  *topology.Topology
-	warmNet   network.Params
-	warmRoute routing.Config
+	warmTopo  *topology.Topology //simlint:resetsafe unreachable once k is nil: fabric() rebuilds before reading it
+	warmNet   network.Params     //simlint:resetsafe unreachable once k is nil: fabric() rebuilds before reading it
+	warmRoute routing.Config     //simlint:resetsafe unreachable once k is nil: fabric() rebuilds before reading it
 }
 
 // fabric returns the kernel/fabric pair for one run: the machine's warm

@@ -232,3 +232,90 @@ func TestCampaignModeChangesCongestion(t *testing.T) {
 		t.Errorf("AD3 campaign ratio %.4f should not exceed AD0 %.4f", ad3, ad0)
 	}
 }
+
+// TestLDMSSurvivesWarmReuse closes the ROADMAP audit item: RunResult.LDMS
+// must keep reporting the originating run's counters after the warm
+// kernel/fabric pair is rewound and reused for another run. Every Sample
+// is materialized at tick time and Daemon.Stop drops the fabric
+// reference, so re-reading the first result after the second run must be
+// byte-identical to reading it before.
+func TestLDMSSurvivesWarmReuse(t *testing.T) {
+	m := testMachine(t)
+	opts := RunOpts{
+		Seed: 3,
+		LDMS: &ldms.Options{Period: 2 * sim.Millisecond, RecordRouterRatios: true, RecordNICLatency: true},
+	}
+	_, res1, err := m.RunOne(milcSpec(8, routing.AD0), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.LDMS == nil || len(res1.LDMS.Samples()) == 0 {
+		t.Fatal("first run recorded no LDMS samples")
+	}
+	samples1 := deepCopySamples(res1.LDMS.Samples())
+	totals1 := res1.LDMS.TotalsOverall()
+	ratios1 := append([]float64(nil), res1.LDMS.AllRouterRatios()...)
+
+	// Second run on the same machine: fabric() must take the warm path
+	// (same config, drained kernel), mutating the counters res1's daemon
+	// sampled from. Use a different routing mode so the traffic genuinely
+	// differs.
+	k1 := m.k
+	_, res2, err := m.RunOne(milcSpec(8, routing.AD3), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.k != k1 {
+		t.Fatal("second run rebuilt instead of reusing the warm kernel")
+	}
+	if res2.LDMS == nil || len(res2.LDMS.Samples()) == 0 {
+		t.Fatal("second run recorded no LDMS samples")
+	}
+
+	// Re-read the FIRST run's daemon after the reuse.
+	if got := res1.LDMS.TotalsOverall(); got != totals1 {
+		t.Fatalf("warm reuse changed first run's LDMS totals:\n before %+v\n after  %+v", totals1, got)
+	}
+	after := res1.LDMS.Samples()
+	if len(after) != len(samples1) {
+		t.Fatalf("warm reuse changed first run's sample count: %d -> %d", len(samples1), len(after))
+	}
+	for i := range after {
+		if !sampleEqual(after[i], samples1[i]) {
+			t.Fatalf("warm reuse changed first run's sample %d:\n before %+v\n after  %+v", i, samples1[i], after[i])
+		}
+	}
+	if got := res1.LDMS.AllRouterRatios(); !floatsEqual(got, ratios1) {
+		t.Fatal("warm reuse changed first run's router ratios")
+	}
+}
+
+// deepCopySamples clones samples including their slice payloads, so later
+// comparison detects in-place mutation rather than comparing aliases.
+func deepCopySamples(in []ldms.Sample) []ldms.Sample {
+	out := make([]ldms.Sample, len(in))
+	for i, s := range in {
+		out[i] = s
+		out[i].RouterRatios = append([]float64(nil), s.RouterRatios...)
+		out[i].NICLatency = append([]float64(nil), s.NICLatency...)
+	}
+	return out
+}
+
+func sampleEqual(a, b ldms.Sample) bool {
+	return a.At == b.At && a.Totals == b.Totals &&
+		floatsEqual(a.RouterRatios, b.RouterRatios) &&
+		floatsEqual(a.NICLatency, b.NICLatency)
+}
+
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -69,9 +69,9 @@ func (p Profile) workers() int {
 // used by unit tests and smoke checks.
 func Quick() Profile {
 	return Profile{
-		Name:            "quick",
-		Theta:           topology.ThetaMiniConfig(),
-		Cori:            topology.CoriMiniConfig(),
+		Name:  "quick",
+		Theta: topology.ThetaMiniConfig(),
+		Cori:  topology.CoriMiniConfig(),
 		// Sizes are chosen so the 4D grid has all-even dimensions —
 		// otherwise MILCREORDER's blocked layout degenerates to the
 		// identity and the two MILC variants coincide (the paper's

@@ -86,7 +86,13 @@ func (d *Daemon) tick() {
 	d.prevAt = now
 }
 
-// Stop halts future sampling and records one final partial window.
+// Stop halts future sampling, records one final partial window, and
+// drops the daemon's fabric reference. Every recorded Sample is already
+// materialized (Snapshot and Sub deep-copy the counters), so a stopped
+// daemon's results stay valid even after warm machine reuse rewinds and
+// reruns the fabric underneath it — and any bug that ticks a stopped
+// daemon fails loudly on the nil fabric instead of silently folding
+// another run's counters into this run's samples.
 func (d *Daemon) Stop() {
 	if d.stopped {
 		return
@@ -95,6 +101,8 @@ func (d *Daemon) Stop() {
 		d.tick()
 	}
 	d.stopped = true
+	d.fab = nil
+	d.prev = nil
 }
 
 // Samples returns the recorded windows.

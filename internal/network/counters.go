@@ -12,7 +12,7 @@ import (
 // r.AR_RTR_*_STALLED/FLITS and the two AR_NIC_*RSP_TRACK counters used for
 // Fig. 14's packet-pair latencies.
 type Counters struct {
-	topo *topology.Topology
+	topo *topology.Topology //simlint:resetsafe immutable topology these counters describe
 
 	// Flits[r][t] counts flits transmitted by tile t of router r.
 	Flits [][]uint64

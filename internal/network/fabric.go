@@ -95,22 +95,22 @@ const (
 // buffer-wait graph over (link, VC) pairs strictly increases and can
 // never cycle: the fabric is deadlock-free by construction.
 type server struct {
-	fab *Fabric
+	fab *Fabric //simlint:resetsafe immutable wiring back to the owning fabric
 
-	link *topology.Link  // nil for NIC servers
-	node topology.NodeID // NIC servers: the node served
-	kind serverKind
-	idx  int32 // position in Fabric.servers; typed-event payload
+	link *topology.Link  //simlint:resetsafe immutable identity: nil for NIC servers
+	node topology.NodeID //simlint:resetsafe immutable identity: NIC servers' node
+	kind serverKind      //simlint:resetsafe immutable identity
+	idx  int32           //simlint:resetsafe position in Fabric.servers; typed-event payload
 
-	bw       float64  // bytes/second
-	lat      sim.Time // propagation after serialization
-	flitTime sim.Time // one flit period at bw
+	bw       float64  //simlint:resetsafe immutable config: bytes/second
+	lat      sim.Time //simlint:resetsafe immutable config: propagation after serialization
+	flitTime sim.Time //simlint:resetsafe immutable config: one flit period at bw
 
 	queues   []pktQueue // per VC
 	occ      []int      // buffered flits per VC
 	occTotal int        // sum of occ (cached for O(1) load estimates)
 	nonEmpty uint32     // bitmask of VCs with queued packets
-	capFlits int        // per-VC capacity; 0 = unbounded (injection)
+	capFlits int        //simlint:resetsafe immutable config: per-VC capacity; 0 = unbounded (injection)
 
 	busy    bool
 	lastVC  int // round-robin arbitration pointer
@@ -143,6 +143,8 @@ func (s *server) queued() bool { return s.nonEmpty != 0 }
 
 // pushPacket appends p to VC vc's queue (buffer space must already be
 // accounted via occ/occTotal).
+//
+//simlint:hotpath
 func (s *server) pushPacket(vc int, p *Packet) {
 	s.queues[vc].push(p)
 	s.nonEmpty |= 1 << uint(vc)
@@ -150,20 +152,21 @@ func (s *server) pushPacket(vc int, p *Packet) {
 
 // Fabric is a live simulated Aries network on a kernel.
 type Fabric struct {
-	k      *sim.Kernel
-	topo   *topology.Topology
-	engine *routing.Engine
-	params Params
+	k      *sim.Kernel        //simlint:resetsafe kernel lifecycle is the caller's (reset as a pair, see core.Machine)
+	topo   *topology.Topology //simlint:resetsafe immutable topology
+	engine *routing.Engine    //simlint:resetsafe stateless between decisions: scratch contents are dead after each route
+	params Params             //simlint:resetsafe immutable config; changes force a rebuild (core.Machine warm checks)
 	rng    *rand.Rand
 
-	links    []*server // by LinkID
-	inject   []*server // by NodeID
-	eject    []*server // by NodeID
-	servers  []*server // all of the above, by server.idx (typed-event lookup)
-	hid      sim.HandlerID
+	links  []*server //simlint:resetsafe by LinkID; views into servers, which Reset rewinds element-wise
+	inject []*server //simlint:resetsafe by NodeID; views into servers, which Reset rewinds element-wise
+	eject  []*server //simlint:resetsafe by NodeID; views into servers, which Reset rewinds element-wise
+	// servers holds all of the above, by server.idx (typed-event lookup).
+	servers  []*server
+	hid      sim.HandlerID //simlint:resetsafe handler registration survives kernel Reset by design
 	counters *Counters
 
-	numVC int
+	numVC int //simlint:resetsafe immutable config
 	pool  packetPool
 
 	// Monotonic whole-fabric statistics.
@@ -266,7 +269,7 @@ func New(k *sim.Kernel, topo *topology.Topology, params Params, engineCfg routin
 	off := 0
 	for _, s := range f.servers {
 		for vc := range s.queues {
-			s.queues[vc].buf = qslab[off:off : off+queueSlots]
+			s.queues[vc].buf = qslab[off : off : off+queueSlots]
 			off += queueSlots
 		}
 	}
@@ -274,10 +277,10 @@ func New(k *sim.Kernel, topo *topology.Topology, params Params, engineCfg routin
 	rslab := make([]waitReg, len(f.servers)*waiterSlots)
 	for i, s := range f.servers {
 		wo := 2 * i * waiterSlots
-		s.waiters = wslab[wo:wo : wo+waiterSlots]
+		s.waiters = wslab[wo : wo : wo+waiterSlots]
 		s.waking = wslab[wo+waiterSlots : wo+waiterSlots : wo+2*waiterSlots]
 		ro := i * waiterSlots
-		s.waitingOn = rslab[ro:ro : ro+waiterSlots]
+		s.waitingOn = rslab[ro : ro : ro+waiterSlots]
 	}
 	return f
 }
@@ -300,6 +303,8 @@ const (
 
 // HandleEvent implements sim.Handler: the fabric's allocation-free event
 // dispatch.
+//
+//simlint:hotpath
 func (f *Fabric) HandleEvent(kind uint8, a, b int64) {
 	switch kind {
 	case evFinishTx:
@@ -341,6 +346,8 @@ const LoadUnitBytes = 256
 // defining properties of the hardware's credit-based congestion metric:
 // it lags reality by a round-trip, and it reflects sustained utilization
 // rather than the instantaneous queue.
+//
+//simlint:hotpath
 func (f *Fabric) Load(id topology.LinkID) int {
 	s := f.links[id]
 	now := f.k.Now()
@@ -359,6 +366,8 @@ func (f *Fabric) Load(id topology.LinkID) int {
 
 // syncOcc folds the occupancy-time integral forward to now. Must be
 // called before every occTotal change.
+//
+//simlint:hotpath
 func (s *server) syncOcc(now sim.Time) {
 	if now > s.occAt {
 		s.occInt += float64(s.occTotal) * float64(now-s.occAt)
@@ -367,6 +376,8 @@ func (s *server) syncOcc(now sim.Time) {
 }
 
 // bumpOcc adjusts a VC's occupancy, keeping the integral consistent.
+//
+//simlint:hotpath
 func (s *server) bumpOcc(vc, delta int, now sim.Time) {
 	s.syncOcc(now)
 	s.occ[vc] += delta
@@ -383,6 +394,8 @@ func (s *server) bumpOcc(vc, delta int, now sim.Time) {
 // jitter applies the estimate error model: a multiplicative uniform error
 // of ±LoadJitter. Zero load stays zero (an idle port has no credits
 // outstanding, so the hardware reads it exactly).
+//
+//simlint:hotpath
 func (f *Fabric) jitter(load int) int {
 	j := f.params.LoadJitter
 	if j <= 0 || load == 0 {
@@ -454,6 +467,8 @@ func (f *Fabric) Send(src, dst topology.NodeID, bytes int, mode routing.Mode) *M
 // The winning path is appended into the packet's pooled route slice, so
 // only the engine's internal scratch and p's own recycled buffer are
 // touched — no per-decision allocation.
+//
+//simlint:hotpath
 func (f *Fabric) routePacket(p *Packet, mode routing.Mode) {
 	srcR := f.topo.RouterOfNode(p.src)
 	dstR := f.topo.RouterOfNode(p.dst)
@@ -477,6 +492,8 @@ func (f *Fabric) routePacket(p *Packet, mode routing.Mode) {
 
 // vcForHop returns the buffer index used at a server by a packet whose hop
 // index there will be `hop`.
+//
+//simlint:hotpath
 func (f *Fabric) vcForHop(s *server, hop int) int {
 	if s.kind != kindLink {
 		return 0
@@ -491,6 +508,8 @@ func (f *Fabric) vcForHop(s *server, hop int) int {
 }
 
 // next returns the server a packet moves to after s (nil = delivered).
+//
+//simlint:hotpath
 func (f *Fabric) next(s *server, p *Packet) *server {
 	switch s.kind {
 	case kindInject:
@@ -509,6 +528,8 @@ func (f *Fabric) next(s *server, p *Packet) *server {
 }
 
 // hopAfter returns p.hop's value once it moves past s.
+//
+//simlint:hotpath
 func (f *Fabric) hopAfter(s *server, p *Packet) int {
 	if s.kind == kindInject {
 		return 0
@@ -519,6 +540,8 @@ func (f *Fabric) hopAfter(s *server, p *Packet) int {
 // hasSpace reports whether server s can accept flits on VC vc. A server
 // with capFlits == 0 is unbounded; an empty VC always accepts one packet
 // regardless of size so oversized packets cannot wedge.
+//
+//simlint:hotpath
 func (s *server) hasSpace(vc, flits int) bool {
 	if s.capFlits == 0 {
 		return true
@@ -532,6 +555,8 @@ func (s *server) hasSpace(vc, flits int) bool {
 // tile returns the (router, tileIndex) whose counters record traffic
 // through s for packet p. NIC servers map to processor tiles, split
 // request/response by packet kind.
+//
+//simlint:hotpath
 func (s *server) tile(p *Packet) (topology.RouterID, int) {
 	t := s.fab.topo
 	if s.kind == kindLink {
@@ -549,6 +574,8 @@ func (s *server) tile(p *Packet) (topology.RouterID, int) {
 // packet that finally unblocked it. Blocking on a full ejection queue is
 // endpoint congestion and lands on the destination's processor tile (the
 // paper's Proc_req/Proc_rsp stalls); everything else lands on s's tile.
+//
+//simlint:hotpath
 func (f *Fabric) stallTile(s *server, p *Packet) (topology.RouterID, int) {
 	if n := f.next(s, p); n != nil && n.kind == kindEject {
 		return n.tile(p)
@@ -567,6 +594,8 @@ func (f *Fabric) stallTile(s *server, p *Packet) (topology.RouterID, int) {
 // old modular loop, skipping empty VCs for free. tryStart is the hottest
 // fabric function (it runs per injection, arrival, completion, and wake),
 // and most servers have 1-2 of 12 VCs occupied.
+//
+//simlint:hotpath
 func (f *Fabric) tryStart(s *server) {
 	if s.busy || s.nonEmpty == 0 {
 		return
@@ -592,6 +621,8 @@ func (f *Fabric) tryStart(s *server) {
 // startVC tries to begin serializing the head of s's VC vc, reporting
 // whether serialization started (false: downstream full, caller moves to
 // the next candidate VC).
+//
+//simlint:hotpath
 func (f *Fabric) startVC(s *server, vc int) bool {
 	p := s.queues[vc].front()
 	if s.kind == kindInject && !p.routed {
@@ -631,6 +662,8 @@ func (f *Fabric) startVC(s *server, vc int) bool {
 // finishTx completes serialization of p at s: counts flits, frees s's
 // buffer space, wakes waiters, forwards p downstream after propagation
 // latency, and re-arbitrates s.
+//
+//simlint:hotpath
 func (f *Fabric) finishTx(s *server, p *Packet, n *server, vc int) {
 	// Count the traversal on s's tile.
 	r, tIdx := s.tile(p)
@@ -663,6 +696,8 @@ func (f *Fabric) finishTx(s *server, p *Packet, n *server, vc int) {
 }
 
 // deliver completes a packet at its destination node.
+//
+//simlint:hotpath
 func (f *Fabric) deliver(p *Packet) {
 	f.PacketsDelivered++
 	if !p.response {

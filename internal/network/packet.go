@@ -23,7 +23,7 @@ import (
 // as its identity in typed kernel events (a scalar payload instead of a
 // boxed pointer).
 type Packet struct {
-	idx      int32 // arena slot; fixed for the life of the Fabric
+	idx      int32 //simlint:resetsafe arena-slot identity, fixed for the life of the Fabric
 	src, dst topology.NodeID
 	bytes    int
 	flits    int

@@ -60,6 +60,8 @@ func (pl *packetPool) reset() {
 // get returns a reset packet. With recycle disabled (Params.NoRecycle) it
 // always allocates, which is the reference behaviour the pool property
 // tests compare against.
+//
+//simlint:hotpath
 func (f *Fabric) allocPacket() *Packet {
 	pool := &f.pool
 	if n := len(pool.free); n > 0 && !f.params.NoRecycle {
@@ -85,6 +87,8 @@ func (f *Fabric) allocPacket() *Packet {
 // releasePacket returns a delivered packet to the free list. The route
 // slice keeps its backing array so the next occupant routes without
 // allocating.
+//
+//simlint:hotpath
 func (f *Fabric) releasePacket(p *Packet) {
 	if f.params.NoRecycle {
 		return
@@ -95,6 +99,8 @@ func (f *Fabric) releasePacket(p *Packet) {
 
 // reset clears a recycled packet to its zero state, keeping idx and the
 // route slice's capacity.
+//
+//simlint:hotpath
 func (p *Packet) reset() {
 	p.src, p.dst = 0, 0
 	p.bytes, p.flits = 0, 0
@@ -107,6 +113,8 @@ func (p *Packet) reset() {
 }
 
 // packetOf resolves a typed-event payload back to its packet.
+//
+//simlint:hotpath
 func (f *Fabric) packetOf(idx int64) *Packet { return f.pool.arena[idx] }
 
 // pktQueue is one virtual channel's FIFO of queued packets. A plain
@@ -123,6 +131,7 @@ func (q *pktQueue) empty() bool    { return q.head == len(q.buf) }
 func (q *pktQueue) len() int       { return len(q.buf) - q.head }
 func (q *pktQueue) front() *Packet { return q.buf[q.head] }
 
+//simlint:hotpath
 func (q *pktQueue) push(p *Packet) {
 	if q.head > 64 && q.head > len(q.buf)-q.head {
 		// More dead slots than live packets: slide the tail down so the
@@ -137,6 +146,7 @@ func (q *pktQueue) push(p *Packet) {
 	q.buf = append(q.buf, p)
 }
 
+//simlint:hotpath
 func (q *pktQueue) pop() *Packet {
 	p := q.buf[q.head]
 	q.buf[q.head] = nil // no stale reference to a recycled packet
@@ -162,6 +172,8 @@ type waitReg struct {
 // registerWaiter records that s is waiting for space at n, deduplicated
 // against live registrations. The scan is over s's own small set (bounded
 // by the distinct next-hop servers of s's VC heads), not n's waiter list.
+//
+//simlint:hotpath
 func (f *Fabric) registerWaiter(s, n *server) {
 	for i := range s.waitingOn {
 		r := &s.waitingOn[i]
@@ -192,6 +204,8 @@ func (f *Fabric) registerWaiter(s, n *server) {
 // have used, but without a heap push/pop — wakes are the third-largest
 // event class on the packet path. TryTailCall refuses whenever the
 // ordering would differ, and the queued event remains the fallback.
+//
+//simlint:hotpath
 func (f *Fabric) flushWaiters(s *server) {
 	if len(s.waiters) == 0 {
 		return
@@ -207,6 +221,8 @@ func (f *Fabric) flushWaiters(s *server) {
 // server in the snapshot, in registration order (the same order the old
 // one-event-per-waiter scheme preserved through consecutive sequence
 // numbers).
+//
+//simlint:hotpath
 func (f *Fabric) wakeWaiters(s *server) {
 	for i, w := range s.waking {
 		s.waking[i] = nil

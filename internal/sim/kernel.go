@@ -61,6 +61,7 @@ func (e *event) less(o *event) bool {
 // structure in the simulator.
 type eventHeap []event
 
+//simlint:hotpath
 func (h *eventHeap) push(e event) {
 	*h = append(*h, e)
 	i := len(*h) - 1
@@ -75,6 +76,7 @@ func (h *eventHeap) push(e event) {
 	}
 }
 
+//simlint:hotpath
 func (h *eventHeap) pop() event {
 	s := *h
 	top := s[0]
@@ -138,8 +140,10 @@ type band struct {
 func (b *band) empty() bool { return b.head == len(b.buf) }
 func (b *band) len() int    { return len(b.buf) - b.head }
 
+//simlint:hotpath
 func (b *band) push(e bandEntry) { b.buf = append(b.buf, e) }
 
+//simlint:hotpath
 func (b *band) take() bandEntry {
 	e := b.buf[b.head]
 	b.buf[b.head] = bandEntry{} // release the closure for GC
@@ -173,16 +177,17 @@ type tailCall struct {
 // safe for concurrent use: all model code must run on the kernel goroutine
 // or inside a Proc it controls.
 type Kernel struct {
-	now      Time
-	seq      uint64
-	events   eventHeap
-	band     band       // events at t == now, FIFO (see band)
-	tail     []tailCall // deferred continuations of the current event
-	inEvent  bool       // an event handler is currently executing
-	handlers []Handler  // typed-event dispatch table, by HandlerID
+	now     Time
+	seq     uint64
+	events  eventHeap
+	band    band       // events at t == now, FIFO (see band)
+	tail    []tailCall // deferred continuations of the current event
+	inEvent bool       // an event handler is currently executing
+	// handlers is the typed-event dispatch table, by HandlerID.
+	handlers []Handler //simlint:resetsafe registrations survive Reset by contract: warm fabrics keep their HandlerID
 	stopped  bool
-	parked   chan struct{} // procs hand control back to the kernel here
-	nProcs   int           // live (spawned, not yet finished) procs
+	parked   chan struct{} //simlint:resetsafe channel identity; parked procs forbid Reset anyway (panic guard)
+	nProcs   int           //simlint:resetsafe live procs; Reset panics unless zero, so zero is preserved
 	stats    KernelStats
 }
 
@@ -212,12 +217,23 @@ func (k *Kernel) Stats() KernelStats { return k.stats }
 // Pending returns the number of queued events.
 func (k *Kernel) Pending() int { return len(k.events) + k.band.len() }
 
+// panicPast reports scheduling before the current time. Outlined from the
+// schedulers so the hot typed-event path stays free of fmt in its body.
+func (k *Kernel) panicPast(t Time) {
+	panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+}
+
+// panicPayload reports a typed-event scalar outside the packable range.
+func panicPayload(a, b int64) {
+	panic(fmt.Sprintf("sim: typed-event payload (%d, %d) outside [0, 2^%d)", a, b, payloadBits))
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // that is always a model bug, and silently reordering would break
 // determinism guarantees.
 func (k *Kernel) At(t Time, fn func()) {
 	if t < k.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+		k.panicPast(t)
 	}
 	if t == k.now {
 		k.band.push(bandEntry{fn: fn})
@@ -248,12 +264,14 @@ func (k *Kernel) RegisterHandler(h Handler) HandlerID {
 // is heap-allocated in steady state. Ordering is identical to At: events
 // fire in (time, scheduling sequence) order regardless of which API queued
 // them.
+//
+//simlint:hotpath
 func (k *Kernel) AtEvent(t Time, h HandlerID, kind uint8, a, b int64) {
 	if t < k.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+		k.panicPast(t)
 	}
 	if uint64(a) > maxPayload || uint64(b) > maxPayload {
-		panic(fmt.Sprintf("sim: typed-event payload (%d, %d) outside [0, 2^%d)", a, b, payloadBits))
+		panicPayload(a, b)
 	}
 	pay := uint64(kind)<<56 | uint64(h)<<48 | uint64(a)<<payloadBits | uint64(b)
 	if t == k.now {
@@ -272,6 +290,8 @@ func (k *Kernel) AtEvent(t Time, h HandlerID, kind uint8, a, b int64) {
 // then. On false the caller must schedule normally. Multiple tail calls
 // registered during one event run in registration order, still matching
 // zero-delay event semantics.
+//
+//simlint:hotpath
 func (k *Kernel) TryTailCall(h HandlerID, kind uint8, a, b int64) bool {
 	if !k.inEvent || !k.band.empty() {
 		return false
@@ -284,6 +304,8 @@ func (k *Kernel) TryTailCall(h HandlerID, kind uint8, a, b int64) bool {
 }
 
 // AfterEvent schedules a typed event d after the current time.
+//
+//simlint:hotpath
 func (k *Kernel) AfterEvent(d Time, h HandlerID, kind uint8, a, b int64) {
 	k.AtEvent(k.now+d, h, kind, a, b)
 }
@@ -293,6 +315,8 @@ func (k *Kernel) Stop() { k.stopped = true }
 
 // exec runs one event callback, then drains any tail calls it (or its
 // continuations) registered.
+//
+//simlint:hotpath
 func (k *Kernel) exec(fn func(), pay uint64) {
 	k.stats.EventsExecuted++
 	k.inEvent = true
@@ -321,6 +345,8 @@ func (k *Kernel) exec(fn func(), pay uint64) {
 // sequence numbers), then the band in FIFO order — exact (t, seq) order
 // without one sift per zero-delay event. Virtual time advances only once
 // both are empty.
+//
+//simlint:hotpath
 func (k *Kernel) step() bool {
 	if len(k.events) > 0 && k.events[0].t == k.now {
 		e := k.events.pop()

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# lint.sh — the exact static checks CI's lint job runs, for local use.
+#
+# Three gates, same flags as .github/workflows/ci.yml:
+#   1. gofmt -l   — no unformatted files (the simlint directive comments
+#                   are gofmt-stable; drift here usually means a hand
+#                   edit skipped gofmt)
+#   2. go vet     — the stock toolchain analyzers
+#   3. simlint    — the repo's own analyzers (detrand, resetcheck,
+#                   hotpath); see internal/analyzers and DESIGN.md
+#                   "Static invariants"
+#
+# Usage: scripts/lint.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt ==" >&2
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+	echo "gofmt needed:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet ==" >&2
+go vet ./...
+
+echo "== simlint ==" >&2
+go run ./cmd/simlint ./...
+
+echo "lint clean" >&2
