@@ -1,0 +1,102 @@
+// Command simd is the simulation-as-a-service daemon: a long-running
+// HTTP/JSON server answering routing what-if queries from config-keyed
+// pools of warm machines.
+//
+// Usage:
+//
+//	simd [-listen :8080] [-profile quick|bench|standard] [-j N]
+//	     [-pool N] [-tenant-limit N] [-timeout D]
+//
+// Endpoints:
+//
+//	POST /v1/query   routing what-if query (JSON; see internal/service)
+//	GET  /healthz    liveness probe
+//	GET  /metrics    pool hit rate, queue depth, per-query latency
+//
+// Example:
+//
+//	simd -listen :8080 &
+//	curl -s -X POST localhost:8080/v1/query -d '{
+//	  "topology": "theta-mini", "app": "MILC", "nodes": 32,
+//	  "modes": ["AD0", "AD3"], "runs": 4, "seed": 1
+//	}'
+//
+// The same request body always yields the same response bytes,
+// regardless of pool warmth, worker count, or request coalescing — the
+// determinism contract the test suite enforces.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/parallel"
+	"repro/internal/service"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "address to serve on")
+	profileName := flag.String("profile", "quick", "simulation scale: quick, bench, or standard")
+	jobs := flag.Int("j", runtime.NumCPU(), "per-query ensemble fan-out (responses are identical for any value)")
+	poolCap := flag.Int("pool", 0, "idle machines retained per topology (default 2x -j)")
+	tenantLimit := flag.Int("tenant-limit", 4, "max concurrent requests per tenant (0 = unlimited)")
+	timeout := flag.Duration("timeout", 120*time.Second, "per-query simulation timeout")
+	flag.Parse()
+
+	var profile experiments.Profile
+	switch *profileName {
+	case "quick":
+		profile = experiments.Quick()
+	case "bench":
+		profile = experiments.Bench()
+	case "standard":
+		profile = experiments.Standard()
+	default:
+		fmt.Fprintf(os.Stderr, "simd: unknown profile %q (quick, bench, or standard)\n", *profileName)
+		os.Exit(2)
+	}
+
+	srv := service.New(service.Config{
+		Profile:      profile,
+		Workers:      parallel.Workers(*jobs),
+		PoolCap:      *poolCap,
+		TenantLimit:  *tenantLimit,
+		QueryTimeout: *timeout,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *listen,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight queries.
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-done
+		log.Printf("simd: %s received, draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout+10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("simd: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("simd: serving on %s (profile=%s, workers=%d, tenant-limit=%d, timeout=%s)",
+		*listen, profile.Name, parallel.Workers(*jobs), *tenantLimit, *timeout)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("simd: %v", err)
+	}
+	log.Printf("simd: stopped")
+}

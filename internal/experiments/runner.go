@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/apps"
@@ -79,6 +80,13 @@ type Sample struct {
 	Groups     int // dragonfly groups spanned by the placement
 	RuntimeSec float64
 	Report     *autoperf.Report
+	// MinPkts / NonMinPkts count the job's own adaptive routing decisions,
+	// and MeanTransitSec is the mean network transit of its packets —
+	// per-run routing diagnostics the simd service aggregates into its
+	// response (zero in harnesses that predate them).
+	MinPkts        uint64
+	NonMinPkts     uint64
+	MeanTransitSec float64
 }
 
 // MPISec returns the per-rank average MPI time in seconds.
@@ -120,8 +128,20 @@ func (p Profile) jobSpec(app apps.App, nodes int, mode routing.Mode,
 func productionSamples(mp *machinePool, p Profile, app apps.App, nodes int,
 	modes []routing.Mode, seedBase int64) ([]Sample, error) {
 
+	return productionSamplesCtx(context.Background(), mp, p, app, nodes,
+		modes, core.DefaultBackground(), seedBase)
+}
+
+// productionSamplesCtx is the parameterized core of productionSamples:
+// explicit background conditions (nil bg runs the jobs on an otherwise
+// idle machine) and cooperative cancellation between runs. bg is shared
+// read-only across tasks — Machine.Run copies it before mutating.
+func productionSamplesCtx(ctx context.Context, mp *machinePool, p Profile,
+	app apps.App, nodes int, modes []routing.Mode, bg *core.BackgroundSpec,
+	seedBase int64) ([]Sample, error) {
+
 	maxGroups := mp.machine(0).Topo.Cfg.Groups
-	return parallel.Map(mp.workers(), p.Runs*len(modes),
+	return parallel.MapContext(ctx, mp.workers(), p.Runs*len(modes),
 		func(worker, idx int) (Sample, error) {
 			i, mode := idx/len(modes), modes[idx%len(modes)]
 			seed := seedBase + int64(i)
@@ -133,7 +153,7 @@ func productionSamples(mp *machinePool, p Profile, app apps.App, nodes int,
 			spec := p.jobSpec(app, nodes, mode, placement.Dispersed, gr, seed)
 			job, _, err := mp.machine(worker).RunOne(spec, core.RunOpts{
 				Seed:       seed,
-				Background: core.DefaultBackground(),
+				Background: bg,
 				Warmup:     p.Warmup,
 			})
 			if err != nil {
@@ -143,8 +163,26 @@ func productionSamples(mp *machinePool, p Profile, app apps.App, nodes int,
 				App: app.Name(), Mode: mode, Seed: seed,
 				Nodes: nodes, Groups: job.GroupsSpanned,
 				RuntimeSec: job.Runtime.Seconds(), Report: job.Report,
+				MinPkts: job.MinimalPkts, NonMinPkts: job.NonMinimalPkts,
+				MeanTransitSec: job.MeanTransit.Seconds(),
 			}, nil
 		})
+}
+
+// SamplesOn runs the production-style campaign on caller-owned machines —
+// the entry point the simd service layer drives. The machines must share
+// one configuration; len(machines) sets the fan-out, and each machine is
+// rewound warm across the runs assigned to its slot exactly as the batch
+// pool does, so results are byte-identical to a batch campaign with the
+// same arguments. Cancelling ctx stops undispatched runs (they fail with
+// ctx's error in the returned sample slice); a run already simulating
+// completes first.
+func (p Profile) SamplesOn(ctx context.Context, machines []*core.Machine,
+	app apps.App, nodes int, modes []routing.Mode, bg *core.BackgroundSpec,
+	seedBase int64) ([]Sample, error) {
+
+	return productionSamplesCtx(ctx, &machinePool{machines: machines}, p,
+		app, nodes, modes, bg, seedBase)
 }
 
 // ProductionEnsemble is the exported entry to one app's production

@@ -47,6 +47,20 @@ func Workers(j int) int {
 // Worker goroutines are labeled with pprof tag worker=<slot>, so CPU
 // profiles taken during a parallel map attribute samples per pool slot.
 func Map[T any](workers, n int, fn func(worker, index int) (T, error)) ([]T, error) {
+	return MapContext(context.Background(), workers, n, fn)
+}
+
+// MapContext is Map with cooperative cancellation. A discrete-event run
+// cannot be preempted mid-flight, so cancellation is between tasks: once
+// ctx is done, no new task starts — every index not yet claimed fails
+// immediately with ctx's error — while tasks already executing run to
+// completion and keep their results. The partial-results contract is
+// otherwise identical to Map's: the returned slice always has length n,
+// successful indices hold their computed values, failed or skipped
+// indices hold T's zero value, and the error of the lowest failing index
+// is returned. Callers that need to know whether a timeout (rather than
+// a task failure) cut the map short check errors.Is(err, ctx.Err()).
+func MapContext[T any](ctx context.Context, workers, n int, fn func(worker, index int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if n == 0 {
 		return out, nil
@@ -57,6 +71,10 @@ func Map[T any](workers, n int, fn func(worker, index int) (T, error)) ([]T, err
 	errs := make([]error, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
 			out[i] = runTask(fn, 0, i, errs)
 		}
 		return out, firstError(errs)
@@ -74,6 +92,14 @@ func Map[T any](workers, n int, fn func(worker, index int) (T, error)) ([]T, err
 						i := int(next.Add(1)) - 1
 						if i >= n {
 							return
+						}
+						// After cancellation, keep claiming indices so
+						// every skipped task records the cancellation
+						// error (the salvage contract requires all n
+						// indices accounted for).
+						if err := ctx.Err(); err != nil {
+							errs[i] = err
+							continue
 						}
 						// Distinct goroutines write disjoint indices, so
 						// the result and error slices need no locking.

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -150,6 +151,109 @@ func TestForEach(t *testing.T) {
 		return nil
 	}); !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestMapContextAlreadyCancelled pins the caller-cancels contract at its
+// boundary: with a context that is done before the map starts, no task
+// runs at all, yet the returned slice still has length n with every index
+// holding the zero value and the context's error reported.
+func TestMapContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 8} {
+		out, err := MapContext(ctx, workers, 10, func(worker, index int) (int, error) {
+			t.Errorf("workers=%d: task %d ran after cancellation", workers, index)
+			return -1, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err=%v, want context.Canceled", workers, err)
+		}
+		if len(out) != 10 {
+			t.Fatalf("workers=%d: len(out)=%d, want 10", workers, len(out))
+		}
+		for i, v := range out {
+			if v != 0 {
+				t.Fatalf("workers=%d: out[%d]=%d, want zero value", workers, i, v)
+			}
+		}
+	}
+}
+
+// TestMapContextCancelMidMapSequential cancels from inside a task on the
+// inline path: tasks before the cancellation point keep their results,
+// tasks after it are skipped with the context's error, and the lowest
+// failing index's error (the cancellation) is what Map returns.
+func TestMapContextCancelMidMapSequential(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	out, err := MapContext(ctx, 1, 10, func(worker, index int) (int, error) {
+		if index == 3 {
+			cancel()
+		}
+		return index * 10, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	for i := 0; i <= 3; i++ {
+		if out[i] != i*10 {
+			t.Fatalf("out[%d]=%d, want %d (completed before cancel)", i, out[i], i*10)
+		}
+	}
+	for i := 4; i < 10; i++ {
+		if out[i] != 0 {
+			t.Fatalf("out[%d]=%d, want zero value (skipped)", i, out[i])
+		}
+	}
+}
+
+// TestMapContextCancelMidMapParallel is the pooled-path version: park one
+// task per worker on a gate, cancel, then release the gate. The parked
+// tasks must run to completion and keep their results (a DES run cannot
+// be preempted), while every unclaimed index fails with the context's
+// error and the zero value.
+func TestMapContextCancelMidMapParallel(t *testing.T) {
+	const workers, n = 4, 20
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, workers)
+	release := make(chan struct{})
+	// MapContext is synchronous, so the coordinator runs alongside it:
+	// once every worker has claimed its first task, cancel, then let the
+	// parked tasks finish.
+	go func() {
+		for i := 0; i < workers; i++ {
+			<-started
+		}
+		cancel()
+		close(release)
+	}()
+	out, err := MapContext(ctx, workers, n, func(worker, index int) (int, error) {
+		started <- struct{}{}
+		<-release
+		return index + 100, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if len(out) != n {
+		t.Fatalf("len(out)=%d, want %d", len(out), n)
+	}
+	// The first `workers` indices were claimed before cancellation (the
+	// atomic counter hands out 0..workers-1 first) and must have
+	// completed; everything after was skipped with the zero value.
+	completed := 0
+	for i, v := range out {
+		switch v {
+		case i + 100:
+			completed++
+		case 0:
+			// skipped by cancellation
+		default:
+			t.Fatalf("out[%d]=%d, want %d or zero", i, v, i+100)
+		}
+	}
+	if completed != workers {
+		t.Fatalf("completed tasks = %d, want exactly %d (one in flight per worker)", completed, workers)
 	}
 }
 

@@ -1,0 +1,70 @@
+package service
+
+import "sync"
+
+// coalescer deduplicates concurrent identical queries: requests sharing a
+// canonical Query.Key while one is in flight wait for that execution and
+// receive its exact bytes instead of running the ensemble again. Because
+// responses are deterministic functions of the key, coalescing is
+// semantically invisible — a follower's bytes equal what its own
+// execution would have produced (the determinism suite checks this on
+// the HTTP path) — so it is purely a throughput optimization: N
+// identical what-if queries cost one ensemble.
+//
+// Coalescing is generation-scoped: a request arriving after the previous
+// execution finished starts a fresh one (which, warm pool, is still
+// cheap). There is no response cache — operators change profiles and
+// recompile simulators; a cache would need invalidation, while
+// re-execution is deterministic by construction.
+type coalescer struct {
+	mu       sync.Mutex
+	inflight map[string]*call
+}
+
+// call is one in-flight execution and its eventual result.
+type call struct {
+	done    chan struct{}
+	waiters int // followers currently parked on done (under coalescer.mu)
+	status  int
+	body    []byte
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{inflight: make(map[string]*call)}
+}
+
+// do returns fn's result for key, executing fn at most once per
+// concurrent generation. shared reports whether this caller rode an
+// execution started by another request. Followers must treat body as
+// immutable — it is aliased across every coalesced response.
+func (c *coalescer) do(key string, fn func() (int, []byte)) (status int, body []byte, shared bool) {
+	c.mu.Lock()
+	if cl, ok := c.inflight[key]; ok {
+		cl.waiters++
+		c.mu.Unlock()
+		<-cl.done
+		return cl.status, cl.body, true
+	}
+	cl := &call{done: make(chan struct{})}
+	c.inflight[key] = cl
+	c.mu.Unlock()
+
+	cl.status, cl.body = fn()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(cl.done)
+	return cl.status, cl.body, false
+}
+
+// waitersFor reports how many followers are parked on key's in-flight
+// execution (tests synchronize on it; 0 when nothing is in flight).
+func (c *coalescer) waitersFor(key string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cl, ok := c.inflight[key]; ok {
+		return cl.waiters
+	}
+	return 0
+}

@@ -1,0 +1,66 @@
+package service
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestGoldenResponsePerMode pins the exact JSON response bytes for one
+// single-mode query per routing-bias mode AD0–AD3. Any change to the
+// wire format, float rendering, field order, or the simulated numbers
+// themselves shows up as a golden diff — deliberate changes regenerate
+// with:
+//
+//	go test ./internal/service -run TestGolden -update
+//
+// The goldens double as wire-format documentation: they are the literal
+// bytes a client receives.
+func TestGoldenResponsePerMode(t *testing.T) {
+	srv := New(testConfig())
+	h := srv.Handler()
+	for _, mode := range []string{"AD0", "AD1", "AD2", "AD3"} {
+		t.Run(mode, func(t *testing.T) {
+			body := fmt.Sprintf(
+				`{"topology":"test","app":"MILC","nodes":8,"modes":[%q],"runs":2,"seed":42}`, mode)
+			got := mustPost(t, h, body)
+			checkGolden(t, "query_"+mode+".golden", got)
+		})
+	}
+}
+
+// TestGoldenMultiModeResponse pins the canonical two-mode comparison
+// response, including the "recommended" field the what-if workflow is
+// built around.
+func TestGoldenMultiModeResponse(t *testing.T) {
+	got := mustPost(t, New(testConfig()).Handler(), canonicalBody)
+	checkGolden(t, "query_AD0_vs_AD3.golden", got)
+}
+
+// checkGolden compares got against testdata/name, rewriting under
+// -update (same idiom as internal/experiments/golden_test.go).
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/service -run TestGolden -update`): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("response deviates from %s (rerun with -update if deliberate):\n--- got ---\n%s--- want ---\n%s",
+			path, got, want)
+	}
+}

@@ -1,0 +1,48 @@
+package service
+
+import "sync"
+
+// tenantLimiter enforces per-tenant concurrency caps. Admission is
+// non-blocking: a tenant already running `limit` requests gets an
+// immediate 429 rather than a queue slot, which keeps one tenant's burst
+// from occupying the accept loop and makes rejection deterministic to
+// test. Admission happens before coalescing, so the cap counts a
+// tenant's in-flight requests whether they execute or ride another
+// execution.
+type tenantLimiter struct {
+	mu    sync.Mutex
+	limit int            // 0 disables limiting
+	inUse map[string]int // tenant → live request count
+}
+
+func newTenantLimiter(limit int) *tenantLimiter {
+	return &tenantLimiter{limit: limit, inUse: make(map[string]int)}
+}
+
+// tryAcquire claims one slot for tenant, reporting false at the cap.
+func (l *tenantLimiter) tryAcquire(tenant string) bool {
+	if l.limit <= 0 {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.inUse[tenant] >= l.limit {
+		return false
+	}
+	l.inUse[tenant]++
+	return true
+}
+
+// release returns tenant's slot.
+func (l *tenantLimiter) release(tenant string) {
+	if l.limit <= 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.inUse[tenant] <= 1 {
+		delete(l.inUse, tenant)
+	} else {
+		l.inUse[tenant]--
+	}
+}

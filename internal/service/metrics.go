@@ -1,0 +1,93 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// metrics aggregates serving observability: everything wall-clock or
+// load-dependent lives here, exposed on /metrics only, never in a query
+// response (which must stay a deterministic function of the query).
+// The exposition format is Prometheus-compatible text.
+type metrics struct {
+	mu sync.Mutex
+
+	requests       uint64  // POST /v1/query requests received
+	clientErrors   uint64  // rejected with 4xx (validation, limits)
+	serverErrors   uint64  // failed with 5xx
+	coalesced      uint64  // requests served by riding another execution
+	executed       uint64  // ensembles actually simulated
+	rejectedTenant uint64  // 429s from the per-tenant cap
+	queueDepth     int64   // requests currently inside the handler
+	latencySum     float64 // seconds spent executing ensembles
+	latencyCount   uint64
+	latencyMax     float64
+}
+
+func (m *metrics) requestStart() {
+	m.mu.Lock()
+	m.requests++
+	m.queueDepth++
+	m.mu.Unlock()
+}
+
+func (m *metrics) requestEnd(status int) {
+	m.mu.Lock()
+	m.queueDepth--
+	switch {
+	case status == 429:
+		m.rejectedTenant++
+		m.clientErrors++
+	case status >= 400 && status < 500:
+		m.clientErrors++
+	case status >= 500:
+		m.serverErrors++
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) recordCoalesced() {
+	m.mu.Lock()
+	m.coalesced++
+	m.mu.Unlock()
+}
+
+func (m *metrics) recordExecution(seconds float64) {
+	m.mu.Lock()
+	m.executed++
+	m.latencySum += seconds
+	m.latencyCount++
+	if seconds > m.latencyMax {
+		m.latencyMax = seconds
+	}
+	m.mu.Unlock()
+}
+
+// render writes the exposition text. Pool stats are passed in so the
+// metrics page is one consistent snapshot.
+func (m *metrics) render(pool PoolStats) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b strings.Builder
+	line := func(name string, format string, v any) {
+		fmt.Fprintf(&b, "simd_%s "+format+"\n", name, v)
+	}
+	line("requests_total", "%d", m.requests)
+	line("requests_coalesced_total", "%d", m.coalesced)
+	line("requests_rejected_tenant_total", "%d", m.rejectedTenant)
+	line("request_errors_client_total", "%d", m.clientErrors)
+	line("request_errors_server_total", "%d", m.serverErrors)
+	line("queries_executed_total", "%d", m.executed)
+	line("queue_depth", "%d", m.queueDepth)
+	line("pool_hits_total", "%d", pool.Hits)
+	line("pool_misses_total", "%d", pool.Misses)
+	line("pool_discarded_total", "%d", pool.Discarded)
+	line("pool_idle_machines", "%d", pool.Idle)
+	line("pool_live_machines", "%d", pool.Live)
+	line("pool_hit_rate", "%g", pool.HitRate())
+	line("query_latency_seconds_count", "%d", m.latencyCount)
+	line("query_latency_seconds_sum", "%g", m.latencySum)
+	line("query_latency_seconds_max", "%g", m.latencyMax)
+	return b.String()
+}

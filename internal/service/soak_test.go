@@ -1,0 +1,85 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestSoakConcurrentClients is the pool-integrity soak: N concurrent
+// clients fire a mix of M distinct query shapes (different apps, modes,
+// seeds, topologies) at one server, several rounds each, so checkouts
+// and checkins from different topology keys interleave freely. Under
+// -race (the CI race job runs this package) it gates that the pool
+// never double-hands a machine: a machine shared by two ensembles would
+// race on its RNG and counter state, and the double-handout panic in
+// Checkin would abort the test. Byte-identity is asserted per shape
+// across all clients and rounds — warm reuse under churn must not bleed
+// state between configs.
+func TestSoakConcurrentClients(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 4
+	cfg.PoolCap = 3 // below peak demand: forces discard/rebuild churn
+	srv := New(cfg)
+	h := srv.Handler()
+
+	shapes := []string{
+		`{"topology":"test","app":"MILC","nodes":8,"modes":["AD0"],"runs":2,"seed":1}`,
+		`{"topology":"test","app":"MILC","nodes":8,"modes":["AD3"],"runs":2,"seed":1}`,
+		`{"topology":"test","app":"HACC","nodes":8,"modes":["AD1","AD2"],"runs":1,"seed":7}`,
+		`{"topology":"test","app":"Qbox","nodes":4,"modes":["AD3"],"runs":1,"seed":3}`,
+		`{"topology":"theta-mini","app":"MILC","nodes":8,"modes":["AD0"],"runs":1,"seed":5}`,
+	}
+	clients, rounds := 6, 3
+	if testing.Short() {
+		// The CI race job runs -race -short: keep the soak in it at
+		// reduced scale, dropping the expensive theta-mini shape.
+		shapes = shapes[:4]
+		clients, rounds = 4, 2
+	}
+
+	// reference[s] is the first response seen for shape s; every later
+	// response for that shape must match it byte for byte.
+	var mu sync.Mutex
+	reference := make([][]byte, len(shapes))
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				s := (c + r) % len(shapes)
+				// Distinct tenants so the default tenant limit never 429s.
+				body := shapes[s][:len(shapes[s])-1] + fmt.Sprintf(`,"tenant":"c%d"}`, c)
+				status, resp := post(t, h, body)
+				if status != http.StatusOK {
+					t.Errorf("client %d round %d shape %d: status %d: %s", c, r, s, status, resp)
+					return
+				}
+				mu.Lock()
+				if reference[s] == nil {
+					reference[s] = resp
+				} else if !bytes.Equal(reference[s], resp) {
+					t.Errorf("shape %d response changed under churn:\n--- first ---\n%s--- now ---\n%s",
+						s, reference[s], resp)
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	s := srv.PoolStats()
+	if s.Live != 0 {
+		t.Errorf("machines still checked out after soak: %+v", s)
+	}
+	if s.Hits == 0 {
+		t.Errorf("soak never hit the warm pool: %+v", s)
+	}
+	if m := snapshotMetrics(srv); m.requests != uint64(clients*rounds) {
+		t.Errorf("requests = %d, want %d", m.requests, clients*rounds)
+	}
+}
