@@ -5,7 +5,7 @@
 // Usage:
 //
 //	simd [-listen :8080] [-profile quick|bench|standard] [-j N]
-//	     [-pool N] [-tenant-limit N] [-timeout D]
+//	     [-pool N] [-tenant-limit N] [-timeout D] [-prewarm topo1,topo2]
 //
 // Endpoints:
 //
@@ -36,6 +36,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -51,6 +52,7 @@ func main() {
 	poolCap := flag.Int("pool", 0, "idle machines retained per topology (default 2x -j)")
 	tenantLimit := flag.Int("tenant-limit", 4, "max concurrent requests per tenant (0 = unlimited)")
 	timeout := flag.Duration("timeout", 120*time.Second, "per-query simulation timeout")
+	prewarm := flag.String("prewarm", "", "comma-separated topologies to build warm machines for before serving (e.g. theta-mini,cori-mini)")
 	flag.Parse()
 
 	var profile experiments.Profile
@@ -73,6 +75,23 @@ func main() {
 		TenantLimit:  *tenantLimit,
 		QueryTimeout: *timeout,
 	})
+
+	// Prewarm before the listener opens: the first query against each
+	// named topology then checks out a warm machine instead of paying
+	// topology+fabric construction inside its own latency.
+	if *prewarm != "" {
+		names := strings.Split(*prewarm, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		start := time.Now()
+		if err := srv.Prewarm(names); err != nil {
+			fmt.Fprintf(os.Stderr, "simd: %v\n", err)
+			os.Exit(2)
+		}
+		log.Printf("simd: prewarmed %s (%d machines each) in %s",
+			strings.Join(names, ", "), parallel.Workers(*jobs), time.Since(start).Round(time.Millisecond))
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *listen,

@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -55,6 +56,15 @@ type Profile struct {
 	// are merged in seed order, so every value — including <= 1, which
 	// runs strictly sequentially — produces identical output.
 	Workers int
+
+	// FuseLinks turns on network.Params.FuseLinks for every machine the
+	// profile builds: link hops deliver in one fused kernel event instead
+	// of separate completion+arrival events (~25% fewer events per
+	// packet), at the cost of pricing hop contention at serialization
+	// start rather than end. The figure-level results stay within the
+	// campaign's run-to-run spread (TestFusedProfileFigures pins this);
+	// goldens are recorded with it off.
+	FuseLinks bool
 }
 
 // workers clamps the fan-out to at least one.
@@ -116,12 +126,25 @@ func Standard() Profile {
 
 // thetaPool builds one Theta machine per worker for parallel campaigns.
 func (p Profile) thetaPool() (*machinePool, error) {
-	return newMachinePool(p.Theta, p.workers())
+	return p.pool(p.Theta)
 }
 
 // coriPool builds one Cori machine per worker.
 func (p Profile) coriPool() (*machinePool, error) {
-	return newMachinePool(p.Cori, p.workers())
+	return p.pool(p.Cori)
+}
+
+// pool builds the per-worker machines for cfg with the profile's network
+// options applied.
+func (p Profile) pool(cfg topology.Config) (*machinePool, error) {
+	mp, err := newMachinePool(cfg, p.workers())
+	if err != nil {
+		return nil, err
+	}
+	if p.FuseLinks {
+		mp.apply(func(m *core.Machine) { m.Net.FuseLinks = true })
+	}
+	return mp, nil
 }
 
 // appCfg builds the apps.Config for one app under this profile.

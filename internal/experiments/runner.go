@@ -87,6 +87,13 @@ type Sample struct {
 	MinPkts        uint64
 	NonMinPkts     uint64
 	MeanTransitSec float64
+	// Events / Packets are the run's whole-machine kernel event and
+	// delivered-packet totals (background traffic included). Their ratio
+	// is the events-per-packet figure the simd /metrics page exports —
+	// the deterministic cost proxy the link-fusion work optimizes.
+	// Zero in harnesses that predate them.
+	Events  uint64
+	Packets uint64
 }
 
 // MPISec returns the per-rank average MPI time in seconds.
@@ -151,7 +158,7 @@ func productionSamplesCtx(ctx context.Context, mp *machinePool, p Profile,
 			// seed draw the same spread on any worker.
 			gr := 1 + runStream(seed, saltGroupSpread).Intn(maxGroups)
 			spec := p.jobSpec(app, nodes, mode, placement.Dispersed, gr, seed)
-			job, _, err := mp.machine(worker).RunOne(spec, core.RunOpts{
+			job, res, err := mp.machine(worker).RunOne(spec, core.RunOpts{
 				Seed:       seed,
 				Background: bg,
 				Warmup:     p.Warmup,
@@ -165,6 +172,8 @@ func productionSamplesCtx(ctx context.Context, mp *machinePool, p Profile,
 				RuntimeSec: job.Runtime.Seconds(), Report: job.Report,
 				MinPkts: job.MinimalPkts, NonMinPkts: job.NonMinimalPkts,
 				MeanTransitSec: job.MeanTransit.Seconds(),
+				Events:         res.EventsExecuted,
+				Packets:        res.PacketsDelivered,
 			}, nil
 		})
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/routing"
+	"repro/internal/sim"
 	"repro/internal/topology"
 )
 
@@ -70,6 +71,41 @@ func TestPacketHopAllocFree(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("steady-state packet path allocated %.2f times per %d packets, want 0",
+			allocs, perRun)
+	}
+}
+
+// TestPacketHopAllocFreeFused is the same allocation budget with
+// Params.FuseLinks on: the fused evHopDone path (and the lazy settle
+// machinery it leans on — deferred sender completion, evSettle
+// scheduling, backdated occupancy integration) must stay allocation-free
+// too, or fusion would trade event count for GC pressure.
+func TestPacketHopAllocFreeFused(t *testing.T) {
+	topo, err := topology.Build(topology.TestConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultParams()
+	params.FuseLinks = true
+	f := New(sim.NewKernel(), topo, params, routing.DefaultConfig(), 77)
+	warmFabric(t, f, 400)
+
+	rng := rand.New(rand.NewSource(5))
+	n := topo.NumNodes()
+	const perRun = 32
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < perRun; i++ {
+			src := topology.NodeID(rng.Intn(n))
+			dst := topology.NodeID(rng.Intn(n))
+			for src == dst {
+				dst = topology.NodeID(rng.Intn(n))
+			}
+			f.injectRaw(src, dst, f.Params().PacketBytes)
+		}
+		f.Kernel().Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("fused steady-state packet path allocated %.2f times per %d packets, want 0",
 			allocs, perRun)
 	}
 }

@@ -12,12 +12,28 @@ import (
 // BenchmarkPacketDelivery measures end-to-end fabric throughput in
 // packets: random 4KB sends across a 4-group dragonfly.
 func BenchmarkPacketDelivery(b *testing.B) {
+	benchPacketDelivery(b, false)
+}
+
+// BenchmarkPacketDeliveryFused is the same workload with Params.FuseLinks
+// on: each link hop whose reservation succeeds at serialization start
+// collapses finishTx+arrive into one event, so the events/pkt metric —
+// the deterministic cost proxy, immune to host noise — must come in
+// under the reference run's (see TestEventsPerPacketCeiling for the
+// hard bounds).
+func BenchmarkPacketDeliveryFused(b *testing.B) {
+	benchPacketDelivery(b, true)
+}
+
+func benchPacketDelivery(b *testing.B, fuse bool) {
 	topo, err := topology.Build(topology.TestConfig(4))
 	if err != nil {
 		b.Fatal(err)
 	}
+	params := DefaultParams()
+	params.FuseLinks = fuse
 	k := sim.NewKernel()
-	f := New(k, topo, DefaultParams(), routing.DefaultConfig(), 1)
+	f := New(k, topo, params, routing.DefaultConfig(), 1)
 	rng := rand.New(rand.NewSource(2))
 	n := topo.NumNodes()
 	for i := 0; i < b.N; i++ {

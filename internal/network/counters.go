@@ -11,6 +11,12 @@ import (
 // reads via AutoPerf (local, per-application) and LDMS (global, periodic):
 // r.AR_RTR_*_STALLED/FLITS and the two AR_NIC_*RSP_TRACK counters used for
 // Fig. 14's packet-pair latencies.
+//
+// Sample-point contract: every external reader takes these through
+// Fabric.Counters(), which settles any fused-hop completions that are
+// overdue (Params.FuseLinks defers the sender-side flit count to the
+// fused event, but backdates it on settle) — so at any sampling instant
+// the tile counters read identically under the fused and split models.
 type Counters struct {
 	topo *topology.Topology //simlint:resetsafe immutable topology these counters describe
 

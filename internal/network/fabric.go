@@ -62,6 +62,19 @@ type Params struct {
 	// pool property tests run pooled and non-pooled fabrics side by side
 	// and require identical observable behaviour.
 	NoRecycle bool
+	// FuseLinks collapses the two per-link-hop events (serialization
+	// completion + propagation arrival) into one fused hop-done event
+	// scheduled at serialization start, with the hop's contention delay
+	// precomputed from the downstream backlog at that moment instead of
+	// at serialization end. This is a physics coarsening, not a
+	// scheduling trick: with HopContention == 0 the fused model is
+	// observably equivalent to the split reference (the equivalence and
+	// fuzz tests in fused_test.go pin it), while with contention enabled
+	// the delay estimate is one serialization time staler. The split
+	// path remains the reference model, the same pattern NoRecycle uses;
+	// sender-side bookkeeping (flit counters, buffer release, waiter
+	// wake) settles lazily — see (*Fabric).settle.
+	FuseLinks bool
 }
 
 // DefaultParams returns the parameters used across the reproduction.
@@ -116,6 +129,18 @@ type server struct {
 	lastVC  int // round-robin arbitration pointer
 	blocked bool
 	stallAt sim.Time
+
+	// Fused-hop state (Params.FuseLinks). While a fused transmission is
+	// in flight the sender-side completion (flit count, dequeue, buffer
+	// release, waiter wake) is deferred: pendingTx marks it owed, freeAt
+	// is the serialization-end instant it is owed AT, and settleEvt
+	// records that an evSettle is already scheduled for exactly freeAt
+	// (needed only when backlog or waiters appear mid-flight). Every
+	// reader of sender-side state settles first, so the deferral is
+	// unobservable — see (*Fabric).settle.
+	pendingTx bool
+	freeAt    sim.Time
+	settleEvt bool
 
 	// Credit-style load estimation state: occInt integrates occupancy
 	// over time (flit-picoseconds) so the estimate exposed to routing is
@@ -220,6 +245,7 @@ func New(k *sim.Kernel, topo *topology.Topology, params Params, engineCfg routin
 	}
 	slots := topo.Cfg.Capacity()
 	injFlit := sim.Time(float64(params.FlitBytes) / topo.Cfg.InjectionBandwidth * 1e12)
+	ejFlit := sim.Time(float64(params.FlitBytes) / topo.Cfg.EjectBW() * 1e12)
 	f.inject = make([]*server, slots)
 	f.eject = make([]*server, slots)
 	for n := 0; n < slots; n++ {
@@ -232,8 +258,8 @@ func New(k *sim.Kernel, topo *topology.Topology, params Params, engineCfg routin
 		}
 		f.eject[n] = &server{
 			fab: f, node: topology.NodeID(n), kind: kindEject,
-			bw: topo.Cfg.InjectionBandwidth, lat: topo.Cfg.NICLatency,
-			flitTime: injFlit,
+			bw: topo.Cfg.EjectBW(), lat: topo.Cfg.NICLatency,
+			flitTime: ejFlit,
 			queues:   make([]pktQueue, 1), occ: make([]int, 1),
 			capFlits: params.BufferFlits,
 		}
@@ -299,6 +325,15 @@ const (
 	evArrive
 	// evWake: flush server a's batched waiter snapshot (see pool.go).
 	evWake
+	// evHopDone (FuseLinks): packet b finished serializing at link
+	// server a AND propagated to its next hop — the fused replacement
+	// for an evFinishTx/evArrive pair, scheduled at serialization start.
+	evHopDone
+	// evSettle (FuseLinks): perform server a's deferred sender-side
+	// completion at exactly its freeAt instant. Scheduled lazily, only
+	// when queued backlog or blocked upstreams need the completion at
+	// freeAt rather than at the fused hop-done.
+	evSettle
 )
 
 // HandleEvent implements sim.Handler: the fabric's allocation-free event
@@ -318,6 +353,13 @@ func (f *Fabric) HandleEvent(kind uint8, a, b int64) {
 		f.tryStart(n)
 	case evWake:
 		f.wakeWaiters(f.servers[a])
+	case evHopDone:
+		f.hopDone(f.servers[a], f.packetOf(b))
+	case evSettle:
+		s := f.servers[a]
+		s.settleEvt = false
+		f.settle(s)
+		f.tryStart(s)
 	}
 }
 
@@ -327,8 +369,14 @@ func (f *Fabric) Kernel() *sim.Kernel { return f.k }
 // Topology returns the fabric's topology.
 func (f *Fabric) Topology() *topology.Topology { return f.topo }
 
-// Counters returns the live counter set.
-func (f *Fabric) Counters() *Counters { return f.counters }
+// Counters returns the live counter set. Overdue fused completions
+// settle first, so every external sample point (LDMS ticks, autoperf
+// snapshots, run results) reads the same tile counters the split
+// reference model would show at this instant.
+func (f *Fabric) Counters() *Counters {
+	f.settleAll()
+	return f.counters
+}
 
 // Params returns the fabric parameters.
 func (f *Fabric) Params() Params { return f.params }
@@ -350,6 +398,13 @@ const LoadUnitBytes = 256
 //simlint:hotpath
 func (f *Fabric) Load(id topology.LinkID) int {
 	s := f.links[id]
+	// An overdue fused release is part of the occupancy history. Guarded
+	// at the call site: Load runs dozens of times per routing decision,
+	// and the settle call (not inlinable) would otherwise tax the
+	// reference model for a fused-only obligation.
+	if s.pendingTx {
+		f.settle(s)
+	}
 	now := f.k.Now()
 	if f.params.LoadStaleness <= 0 {
 		return f.jitter(s.occTotal * f.params.FlitBytes / LoadUnitBytes)
@@ -375,10 +430,16 @@ func (s *server) syncOcc(now sim.Time) {
 	}
 }
 
-// bumpOcc adjusts a VC's occupancy, keeping the integral consistent.
+// bumpOcc adjusts a VC's occupancy, keeping the integral consistent. An
+// overdue fused completion settles first (its release is backdated to
+// freeAt, so it must land before occAt advances past that instant); the
+// settle path itself re-enters with pendingTx already cleared.
 //
 //simlint:hotpath
 func (s *server) bumpOcc(vc, delta int, now sim.Time) {
+	if s.pendingTx && now >= s.freeAt {
+		s.fab.settle(s)
+	}
 	s.syncOcc(now)
 	s.occ[vc] += delta
 	s.occTotal += delta
@@ -583,6 +644,85 @@ func (f *Fabric) stallTile(s *server, p *Packet) (topology.RouterID, int) {
 	return s.tile(p)
 }
 
+// settle performs a fused transmission's deferred sender-side completion
+// once its serialization-end instant has passed: count the flits on s's
+// tile, dequeue the packet, release the input buffer (backdated to
+// freeAt, which keeps the occupancy-time integral feeding Load exact),
+// and wake blocked upstreams. Every code path that reads or mutates
+// sender-side state — arbitration, space checks, occupancy bumps, load
+// queries, counter snapshots — settles first, so no reader can observe
+// the deferred state. A settle strictly after freeAt can only happen
+// when nothing needed the completion at freeAt itself (no backlog, no
+// waiters: those schedule an evSettle for exactly freeAt), which is why
+// deferring it to the fused hop-done is unobservable.
+//
+//simlint:hotpath
+func (f *Fabric) settle(s *server) {
+	if !s.pendingTx || f.k.Now() < s.freeAt {
+		return
+	}
+	s.pendingTx = false
+	vc := s.lastVC
+	p := s.queues[vc].front()
+	r, tIdx := s.tile(p)
+	f.counters.Flits[r][tIdx] += uint64(p.flits)
+	s.queues[vc].pop()
+	if s.queues[vc].empty() {
+		s.nonEmpty &^= 1 << uint(vc)
+	}
+	s.bumpOcc(vc, -p.flits, s.freeAt)
+	s.busy = false
+	f.flushWaiters(s)
+}
+
+// settleDue schedules the evSettle that makes a fused sender's deferred
+// completion happen at exactly freeAt. Called when backlog or waiters
+// appear while the transmission is still in flight.
+//
+//simlint:hotpath
+func (f *Fabric) settleDue(s *server) {
+	if !s.settleEvt {
+		s.settleEvt = true
+		f.k.AtEvent(s.freeAt, f.hid, evSettle, int64(s.idx), 0)
+	}
+}
+
+// fusedBacklog reports whether a fused-pending sender has queued work
+// beyond its in-flight packet — work the split reference model would
+// start at freeAt, so the fused model must settle then too.
+//
+//simlint:hotpath
+func (s *server) fusedBacklog() bool {
+	return s.nonEmpty != 1<<uint(s.lastVC) || s.queues[s.lastVC].len() > 1
+}
+
+// hopDone is the fused per-link-hop event (Params.FuseLinks): packet p
+// has both finished serializing at link server s and propagated to its
+// next hop. The sender side settles here if no earlier touch already
+// did; the arrival side is identical to evArrive.
+//
+//simlint:hotpath
+func (f *Fabric) hopDone(s *server, p *Packet) {
+	f.settle(s)
+	n := f.next(s, p)
+	p.hop = f.hopAfter(s, p)
+	n.pushPacket(f.vcForHop(n, p.hop), p)
+	f.tryStart(n)
+	f.tryStart(s)
+}
+
+// settleAll settles every overdue fused completion, bringing all
+// sender-side state (tile flit counters, occupancies) to what the split
+// reference model would show at this instant. Counter snapshots call it
+// so fused and reference runs read identically at every sample point.
+func (f *Fabric) settleAll() {
+	for _, s := range f.servers {
+		if s.pendingTx {
+			f.settle(s)
+		}
+	}
+}
+
 // tryStart arbitrates s's VC heads round-robin and begins serializing the
 // first one whose downstream buffer has space. If work is queued but
 // nothing can proceed, a stall interval starts.
@@ -597,6 +737,19 @@ func (f *Fabric) stallTile(s *server, p *Packet) (topology.RouterID, int) {
 //
 //simlint:hotpath
 func (f *Fabric) tryStart(s *server) {
+	if s.pendingTx {
+		if f.k.Now() >= s.freeAt {
+			f.settle(s)
+		} else {
+			// Still serializing a fused transmission. If work is now
+			// queued beyond the in-flight head, the reference model
+			// would start it at freeAt — make sure we settle then.
+			if s.fusedBacklog() {
+				f.settleDue(s)
+			}
+			return
+		}
+	}
 	if s.busy || s.nonEmpty == 0 {
 		return
 	}
@@ -636,9 +789,20 @@ func (f *Fabric) startVC(s *server, vc int) bool {
 	}
 	n := f.next(s, p)
 	if n != nil {
+		// An overdue fused completion at the next hop must land before
+		// we read its buffer state (the reference model freed that
+		// space at n's freeAt).
+		if n.pendingTx {
+			f.settle(n)
+		}
 		dvc := f.vcForHop(n, f.hopAfter(s, p))
 		if !n.hasSpace(dvc, p.flits) {
 			f.registerWaiter(s, n)
+			if n.pendingTx {
+				// We now depend on n's in-flight completion; its wake
+				// must fire at freeAt, as the reference model's would.
+				f.settleDue(n)
+			}
 			return false // other VCs may still proceed
 		}
 		// Reserve downstream space for the whole serialization
@@ -653,6 +817,33 @@ func (f *Fabric) startVC(s *server, vc int) bool {
 	s.lastVC = vc
 	s.busy = true
 	ser := sim.Time(float64(p.bytes) / s.bw * 1e12)
+	if f.params.FuseLinks && s.kind == kindLink &&
+		s.nonEmpty == 1<<uint(vc) && s.queues[vc].len() == 1 &&
+		len(s.waiters) == 0 {
+		// Clean link hop: nothing else queued here and no blocked
+		// upstreams, so nothing the reference model does at freeAt is
+		// needed before the packet lands downstream. Schedule the one
+		// fused hop-done event with the contention delay precomputed
+		// from the downstream backlog as of now (the reference reads it
+		// at freeAt — the coarsening FuseLinks documents). Sender-side
+		// completion is owed at freeAt and settles lazily; if backlog
+		// or waiters appear mid-flight, tryStart/registerWaiter
+		// schedule an evSettle for exactly freeAt.
+		//
+		// Injection hops are never fused: their arbitration triggers
+		// the routing decisions that draw from the shared RNG, and the
+		// reference event order must be preserved around every draw.
+		// Ejection hops have no arrival to fuse (serialization end IS
+		// delivery).
+		s.pendingTx = true
+		s.freeAt = f.k.Now() + ser
+		delay := ser + s.lat
+		if hc := f.params.HopContention; hc > 0 && n.occTotal > 0 {
+			delay += sim.Time(hc * float64(n.occTotal) * float64(n.flitTime))
+		}
+		f.k.AfterEvent(delay, f.hid, evHopDone, int64(s.idx), int64(p.idx))
+		return true
+	}
 	// Typed event: finishTx recovers (p, n, vc) from s itself —
 	// lastVC and the queue head are frozen while the server is busy.
 	f.k.AfterEvent(ser, f.hid, evFinishTx, int64(s.idx), 0)
@@ -684,6 +875,11 @@ func (f *Fabric) finishTx(s *server, p *Packet, n *server, vc int) {
 		f.deliver(p) // ejection complete
 	} else {
 		p.hop = f.hopAfter(s, p)
+		// The next hop may owe a fused completion; its backlog must
+		// read post-completion before pricing the contention delay.
+		if n.pendingTx {
+			f.settle(n)
+		}
 		delay := s.lat
 		if hc := f.params.HopContention; hc > 0 && n.occTotal > 0 {
 			// Crossbar/arbitration contention at the next router,

@@ -22,6 +22,13 @@ import (
 // unrelated packet. idx is the packet's stable arena slot, which doubles
 // as its identity in typed kernel events (a scalar payload instead of a
 // boxed pointer).
+//
+// Which events carry the identity differs by path: the split model's
+// evFinishTx recovers its packet from the sender (queue head of lastVC,
+// frozen while the server is busy), but the fused evHopDone cannot — by
+// the time it fires the sender may have settled, re-arbitrated, and be
+// serializing a different packet — so it carries idx in its payload, the
+// same way evArrive always has.
 type Packet struct {
 	idx      int32 //simlint:resetsafe arena-slot identity, fixed for the life of the Fabric
 	src, dst topology.NodeID

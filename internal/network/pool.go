@@ -235,8 +235,10 @@ func (f *Fabric) wakeWaiters(s *server) {
 // (diagnostic; returns to zero once all traffic has drained). Each
 // server's occTotal caches the sum of its per-VC occupancy, so this is one
 // addition per server rather than a walk over every VC slice;
-// TestQueuedFlitsMatchesWalk pins the equivalence.
+// TestQueuedFlitsMatchesWalk pins the equivalence. Overdue fused
+// completions settle first so the totals match the split reference.
 func (f *Fabric) QueuedFlits() int {
+	f.settleAll()
 	total := 0
 	for _, s := range f.links {
 		total += s.occTotal
@@ -253,6 +255,7 @@ func (f *Fabric) QueuedFlits() int {
 // queuedFlitsWalk recomputes QueuedFlits the slow way, walking every VC of
 // every server. Test-only reference for the cached occTotal sums.
 func (f *Fabric) queuedFlitsWalk() int {
+	f.settleAll()
 	total := 0
 	walk := func(s *server) {
 		for _, o := range s.occ {

@@ -29,6 +29,9 @@ func (s *server) reset() {
 	s.lastVC = 0
 	s.blocked = false
 	s.stallAt = 0
+	s.pendingTx = false
+	s.freeAt = 0
+	s.settleEvt = false
 	s.occInt = 0
 	s.occAt = 0
 	s.loadSample = 0

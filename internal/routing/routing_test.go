@@ -421,3 +421,41 @@ func TestSampleGatewaysDistinct(t *testing.T) {
 		}
 	}
 }
+
+// countingEstimator counts load queries and reports every link idle.
+type countingEstimator struct{ calls int }
+
+func (c *countingEstimator) Load(topology.LinkID) int { c.calls++; return 0 }
+
+// TestRouteLoadQueryBudget is the deterministic regression gate on
+// routing-decision cost. Wall-clock gates are meaningless on shared CI
+// hosts (BENCH_3.json's recorded adaptive_route_ns_op jump 748->963
+// turned out to be exactly that: re-measuring the same commits gives
+// overlapping ~700-900ns bands — see BENCH_7.json), but the decision's
+// dominant cost IS deterministic: the number of load-estimator queries
+// per decision (~78 on Theta-mini, each a Fabric.Load with its windowed
+// occupancy math and jitter draw). Any restructuring that inflates
+// candidate enumeration shows up here exactly, on any host.
+func TestRouteLoadQueryBudget(t *testing.T) {
+	topo, err := topology.Build(topology.ThetaMiniConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := &countingEstimator{}
+	eng := NewEngine(topo, est, DefaultConfig())
+	rng := rand.New(rand.NewSource(3))
+	nr := topo.NumRouters()
+	const decisions = 20000
+	buf := make([]topology.LinkID, 0, 16)
+	for _, mode := range []Mode{AD0, AD1, AD2, AD3} {
+		est.calls = 0
+		for i := 0; i < decisions; i++ {
+			src := topology.RouterID(rng.Intn(nr))
+			dst := topology.RouterID(rng.Intn(nr))
+			buf, _ = eng.RouteInto(buf[:0], mode, rng, src, dst, 0)
+		}
+		if perDecision := float64(est.calls) / decisions; perDecision > 80 {
+			t.Errorf("%s: %.2f load queries/decision, budget 80", mode, perDecision)
+		}
+	}
+}

@@ -23,6 +23,15 @@ type metrics struct {
 	latencySum     float64 // seconds spent executing ensembles
 	latencyCount   uint64
 	latencyMax     float64
+
+	// Simulation-cost counters, aggregated over every executed run:
+	// kernel events and delivered packets (their ratio is the
+	// events-per-packet figure link fusion drives down), and how many
+	// runs rewound a warm fabric versus building one cold.
+	simEvents  uint64
+	simPackets uint64
+	warmReuses uint64
+	coldBuilds uint64
 }
 
 func (m *metrics) requestStart() {
@@ -64,6 +73,15 @@ func (m *metrics) recordExecution(seconds float64) {
 	m.mu.Unlock()
 }
 
+func (m *metrics) recordSim(events, packets, warmReuses, coldBuilds uint64) {
+	m.mu.Lock()
+	m.simEvents += events
+	m.simPackets += packets
+	m.warmReuses += warmReuses
+	m.coldBuilds += coldBuilds
+	m.mu.Unlock()
+}
+
 // render writes the exposition text. Pool stats are passed in so the
 // metrics page is one consistent snapshot.
 func (m *metrics) render(pool PoolStats) string {
@@ -83,9 +101,19 @@ func (m *metrics) render(pool PoolStats) string {
 	line("pool_hits_total", "%d", pool.Hits)
 	line("pool_misses_total", "%d", pool.Misses)
 	line("pool_discarded_total", "%d", pool.Discarded)
+	line("pool_prewarmed_total", "%d", pool.Prewarmed)
 	line("pool_idle_machines", "%d", pool.Idle)
 	line("pool_live_machines", "%d", pool.Live)
 	line("pool_hit_rate", "%g", pool.HitRate())
+	line("sim_events_total", "%d", m.simEvents)
+	line("sim_packets_delivered_total", "%d", m.simPackets)
+	epp := 0.0
+	if m.simPackets > 0 {
+		epp = float64(m.simEvents) / float64(m.simPackets)
+	}
+	line("events_per_packet", "%g", epp)
+	line("machine_warm_reuses_total", "%d", m.warmReuses)
+	line("machine_cold_builds_total", "%d", m.coldBuilds)
 	line("query_latency_seconds_count", "%d", m.latencyCount)
 	line("query_latency_seconds_sum", "%g", m.latencySum)
 	line("query_latency_seconds_max", "%g", m.latencyMax)

@@ -29,7 +29,7 @@ type MachinePool struct {
 	// handout detector and the checkin validator.
 	inUse map[*core.Machine]string //simlint:resetsafe live machines keep their checkout identity across Reset
 
-	hits, misses, discarded uint64
+	hits, misses, discarded, prewarmed uint64
 }
 
 // PoolStats is a point-in-time snapshot of pool activity.
@@ -37,6 +37,7 @@ type PoolStats struct {
 	Hits      uint64 // checkouts served by a warm machine
 	Misses    uint64 // checkouts that had to build a machine
 	Discarded uint64 // checkins dropped because the key was at capacity
+	Prewarmed uint64 // machines built ahead of demand by Prewarm
 	Idle      int    // machines currently parked
 	Live      int    // machines currently checked out
 }
@@ -96,6 +97,41 @@ func (p *MachinePool) Checkout(key string) (*core.Machine, error) {
 	return m, nil
 }
 
+// Prewarm parks up to n freshly built, fabric-constructed machines for
+// key before any query asks for them, so the first checkout is a pool
+// hit and its run rewinds a warm fabric instead of building one. The
+// count is clamped to the pool's per-key capacity and reduced by
+// machines already idle under the key; prewarm builds are tallied in
+// PoolStats.Prewarmed, not Misses — a miss means demand arrived cold,
+// which is exactly what prewarming exists to prevent.
+func (p *MachinePool) Prewarm(key string, n int) error {
+	p.mu.Lock()
+	if n > p.keyCap {
+		n = p.keyCap
+	}
+	n -= len(p.free[key])
+	p.mu.Unlock()
+	for i := 0; i < n; i++ {
+		// Build outside the lock, like the miss path: construction and
+		// fabric prewarming dominate, and concurrent checkouts for other
+		// keys shouldn't stall behind a boot-time warmup.
+		m, err := buildMachine(key)
+		if err != nil {
+			return err
+		}
+		m.Prewarm()
+		p.mu.Lock()
+		if len(p.free[key]) >= p.keyCap {
+			p.discarded++
+		} else {
+			p.free[key] = append(p.free[key], m)
+			p.prewarmed++
+		}
+		p.mu.Unlock()
+	}
+	return nil
+}
+
 // CheckoutN checks out n machines for one key, unwinding on failure.
 func (p *MachinePool) CheckoutN(key string, n int) ([]*core.Machine, error) {
 	machines := make([]*core.Machine, 0, n)
@@ -148,7 +184,8 @@ func (p *MachinePool) Stats() PoolStats {
 	}
 	return PoolStats{
 		Hits: p.hits, Misses: p.misses, Discarded: p.discarded,
-		Idle: idle, Live: len(p.inUse),
+		Prewarmed: p.prewarmed,
+		Idle:      idle, Live: len(p.inUse),
 	}
 }
 
@@ -161,7 +198,7 @@ func (p *MachinePool) Reset() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.free = make(map[string][]*core.Machine)
-	p.hits, p.misses, p.discarded = 0, 0, 0
+	p.hits, p.misses, p.discarded, p.prewarmed = 0, 0, 0, 0
 }
 
 // buildMachine constructs a fresh machine for a pool key (a validated

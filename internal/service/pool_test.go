@@ -49,6 +49,52 @@ func TestPoolCheckoutCheckin(t *testing.T) {
 	}
 }
 
+// TestPoolPrewarm pins the prewarm contract: prewarmed machines are
+// parked idle with their fabric already constructed, the first checkout
+// against the key is a pool hit (not a miss), and the first run on that
+// machine takes the warm rewind path — the entire point of paying
+// construction at boot instead of inside the first request's latency.
+func TestPoolPrewarm(t *testing.T) {
+	p := NewMachinePool(4)
+	if err := p.Prewarm("test", 2); err != nil {
+		t.Fatal(err)
+	}
+	s := p.Stats()
+	if s.Prewarmed != 2 || s.Idle != 2 || s.Misses != 0 || s.Hits != 0 {
+		t.Fatalf("after prewarm(2): %+v", s)
+	}
+
+	m, err := p.Checkout("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := p.Stats(); s.Hits != 1 || s.Misses != 0 {
+		t.Fatalf("first checkout after prewarm should hit: %+v", s)
+	}
+	// The prewarmed machine's fabric exists already (one cold build on
+	// the books); its first real run must reuse it warm.
+	if warm, cold := m.ReuseStats(); warm != 0 || cold != 1 {
+		t.Fatalf("prewarmed machine reuse stats = warm %d cold %d, want 0/1", warm, cold)
+	}
+	m.Prewarm() // idempotent: already warm, builds and counts nothing
+	if warm, cold := m.ReuseStats(); warm != 0 || cold != 1 {
+		t.Fatalf("re-prewarm changed the books: warm %d cold %d, want 0/1", warm, cold)
+	}
+
+	// Prewarm tops up to n, counting machines already idle; unknown
+	// topologies fail like any other build.
+	p.Checkin(m)
+	if err := p.Prewarm("test", 3); err != nil {
+		t.Fatal(err)
+	}
+	if s := p.Stats(); s.Idle != 3 || s.Prewarmed != 3 {
+		t.Fatalf("top-up prewarm: %+v", s)
+	}
+	if err := p.Prewarm("summit", 1); err == nil {
+		t.Fatal("prewarm of unknown topology did not fail")
+	}
+}
+
 // TestPoolKeysAreIsolated checks machines park under their own topology
 // key: a warm "test" machine must never satisfy a "theta-mini" query.
 func TestPoolKeysAreIsolated(t *testing.T) {

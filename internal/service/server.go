@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -95,6 +96,24 @@ func (s *Server) Handler() http.Handler {
 // PoolStats exposes the machine pool counters (tests and diagnostics).
 func (s *Server) PoolStats() PoolStats { return s.pool.Stats() }
 
+// Prewarm builds Workers machines (kernel and fabric included) for each
+// named topology before serving, so the first query against each is a
+// pool hit running on a warm fabric. Names must be valid request
+// topologies; the first unknown name fails the whole call. Intended for
+// boot time (simd -prewarm), before the listener accepts traffic.
+func (s *Server) Prewarm(names []string) error {
+	for _, name := range names {
+		if _, ok := topologies[name]; !ok {
+			return fmt.Errorf("prewarm: unknown topology %q (one of %s)",
+				name, strings.Join(TopologyNames(), ", "))
+		}
+		if err := s.pool.Prewarm(name, s.cfg.Workers); err != nil {
+			return fmt.Errorf("prewarm %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
 // ResetPool discards all warm machines, forcing subsequent queries cold.
 // The determinism tests use it to compare cold-pool against warm-pool
 // bytes on the live HTTP path.
@@ -181,12 +200,25 @@ func (s *Server) execute(q Query) (int, []byte) {
 	}
 	defer s.pool.CheckinAll(machines)
 
+	// Machine reuse counters are lifetime-monotonic; the delta across
+	// this execution (machines are exclusively ours until checkin) is
+	// how many of the query's runs rewound a warm fabric vs built cold.
+	warmBefore, coldBefore := reuseTotals(machines)
+
 	p := s.cfg.Profile
 	p.Runs = q.Runs
 	start := time.Now()
 	samples, err := p.SamplesOn(ctx, machines, q.App, q.Nodes, q.Modes,
 		q.backgroundSpec(), q.Seed)
 	s.metrics.recordExecution(time.Since(start).Seconds())
+
+	warmAfter, coldAfter := reuseTotals(machines)
+	var events, packets uint64
+	for _, smp := range samples {
+		events += smp.Events
+		packets += smp.Packets
+	}
+	s.metrics.recordSim(events, packets, warmAfter-warmBefore, coldAfter-coldBefore)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			return http.StatusGatewayTimeout,
@@ -195,6 +227,17 @@ func (s *Server) execute(q Query) (int, []byte) {
 		return http.StatusInternalServerError, errorBody("simulate: " + err.Error())
 	}
 	return http.StatusOK, marshalResponse(buildResponse(q, samples))
+}
+
+// reuseTotals sums the lifetime warm/cold fabric counters across a
+// checkout's machines.
+func reuseTotals(machines []*core.Machine) (warm, cold uint64) {
+	for _, m := range machines {
+		w, c := m.ReuseStats()
+		warm += w
+		cold += c
+	}
+	return warm, cold
 }
 
 // backgroundSpec maps the query's background request onto core's spec;

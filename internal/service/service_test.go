@@ -92,12 +92,75 @@ func TestEndToEndOverHTTP(t *testing.T) {
 		"simd_requests_total 1",
 		"simd_queries_executed_total 1",
 		"simd_pool_misses_total 2", // workers=2, cold pool
+		"simd_pool_prewarmed_total 0",
 		"simd_queue_depth 0",
 		"simd_query_latency_seconds_count 1",
+		"simd_sim_events_total ",
+		"simd_sim_packets_delivered_total ",
+		"simd_events_per_packet ",
+		"simd_machine_warm_reuses_total ",
+		"simd_machine_cold_builds_total ",
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("metrics missing %q:\n%s", want, metrics)
 		}
+	}
+	// One executed query must leave real simulation cost on the page:
+	// zero events, packets, or events/packet means the plumbing from
+	// RunResult through Sample to /metrics is severed.
+	for _, zero := range []string{
+		"simd_sim_events_total 0\n",
+		"simd_sim_packets_delivered_total 0\n",
+		"simd_events_per_packet 0\n",
+	} {
+		if strings.Contains(metrics, zero) {
+			t.Errorf("metrics shows %q after an executed query:\n%s", strings.TrimSpace(zero), metrics)
+		}
+	}
+}
+
+// TestPrewarmServesFirstQueryWarm drives a query into a prewarmed
+// server: every checkout must be a pool hit, every run must rewind a
+// warm fabric (zero cold builds during serving), and — the part that
+// makes prewarming safe to ship — the response bytes must be identical
+// to a cold server's.
+func TestPrewarmServesFirstQueryWarm(t *testing.T) {
+	cold := New(testConfig())
+	coldResp := mustPost(t, cold.Handler(), canonicalBody)
+
+	srv := New(testConfig())
+	if err := srv.Prewarm([]string{"test"}); err != nil {
+		t.Fatal(err)
+	}
+	if s := srv.PoolStats(); s.Prewarmed != 2 || s.Idle != 2 { // Workers=2
+		t.Fatalf("after Prewarm: %+v", s)
+	}
+
+	warmResp := mustPost(t, srv.Handler(), canonicalBody)
+	if string(warmResp) != string(coldResp) {
+		t.Errorf("prewarmed response differs from cold response:\nwarm: %s\ncold: %s",
+			warmResp, coldResp)
+	}
+	s := srv.PoolStats()
+	if s.Hits != 2 || s.Misses != 0 {
+		t.Fatalf("first query on prewarmed pool should be all hits: %+v", s)
+	}
+
+	// 2 runs x 2 modes on fabric-prewarmed machines: 4 warm rewinds,
+	// no cold builds inside the serving path.
+	metrics := srv.metrics.render(srv.PoolStats())
+	for _, want := range []string{
+		"simd_pool_prewarmed_total 2",
+		"simd_machine_warm_reuses_total 4",
+		"simd_machine_cold_builds_total 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	if err := srv.Prewarm([]string{"no-such-topology"}); err == nil {
+		t.Fatal("Prewarm accepted an unknown topology")
 	}
 }
 

@@ -188,6 +188,11 @@ type Kernel struct {
 	stopped  bool
 	parked   chan struct{} //simlint:resetsafe channel identity; parked procs forbid Reset anyway (panic guard)
 	nProcs   int           //simlint:resetsafe live procs; Reset panics unless zero, so zero is preserved
+	// tieArmed is true when the clock's current reading was set by a heap
+	// event (as opposed to an idle RunUntil advance or a fresh kernel),
+	// so a further heap event at the same reading is a genuine
+	// same-timestamp tie for KernelStats.TimestampTies.
+	tieArmed bool
 	stats    KernelStats
 }
 
@@ -201,6 +206,18 @@ type KernelStats struct {
 	TailCalls    uint64
 	ProcsSpawned uint64
 	ProcSwitches uint64
+	// TimestampTies counts heap events that fired at a virtual time some
+	// earlier heap event had already fired at — i.e., members beyond the
+	// first of each exact-timestamp group. Such groups are the only
+	// places where scheduling order (the seq tiebreak) rather than
+	// physics decides execution order, which makes this the detector for
+	// "this run's outcome may depend on event-scheduling details":
+	// network.FuseLinks changes WHERE its events are scheduled, so its
+	// equivalence tests assert byte-identity exactly when both runs
+	// report zero ties. Deliberate zero-delay continuations (the
+	// same-timestamp band, tail calls) are not counted — they follow
+	// their trigger by construction.
+	TimestampTies uint64
 }
 
 // NewKernel returns an empty kernel at time zero.
@@ -349,6 +366,11 @@ func (k *Kernel) exec(fn func(), pay uint64) {
 //simlint:hotpath
 func (k *Kernel) step() bool {
 	if len(k.events) > 0 && k.events[0].t == k.now {
+		// A heap event at the clock's current reading: if an earlier heap
+		// event already fired at this exact time, seq order is deciding.
+		if k.tieArmed {
+			k.stats.TimestampTies++
+		}
 		e := k.events.pop()
 		k.exec(e.fn, e.pay)
 		return true
@@ -363,6 +385,7 @@ func (k *Kernel) step() bool {
 	}
 	e := k.events.pop()
 	k.now = e.t
+	k.tieArmed = true
 	k.exec(e.fn, e.pay)
 	return true
 }
@@ -389,6 +412,7 @@ func (k *Kernel) RunUntil(deadline Time) Time {
 	}
 	if k.now < deadline {
 		k.now = deadline
+		k.tieArmed = false // idle advance: nothing fired at this reading
 	}
 	return k.now
 }
@@ -417,5 +441,6 @@ func (k *Kernel) Reset() {
 	k.inEvent = false
 	k.now, k.seq = 0, 0
 	k.stopped = false
+	k.tieArmed = false
 	k.stats = KernelStats{}
 }

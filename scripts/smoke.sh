@@ -3,12 +3,14 @@
 # exact sequence CI's service-smoke job runs. Gates, in order:
 #   1. simlint over the service packages (the pool checkout path carries
 #      hotpath/resetcheck annotations; see DESIGN.md "Service layer")
-#   2. simd builds and starts serving
+#   2. simd builds and starts serving with -prewarm test
 #   3. GET /healthz answers "ok"
 #   4. POST /v1/query on the tiny "test" topology returns HTTP 200 with
 #      a recommendation, and the same query repeated (warm pool) returns
 #      byte-identical bytes
-#   5. GET /metrics reflects the queries (executed counter, pool hits)
+#   5. GET /metrics reflects the queries: executed counter, pool hits,
+#      zero misses (the -prewarm flag absorbed the cold start), and the
+#      simulation-cost gauges (events/packet, warm fabric reuses)
 #
 # Usage: scripts/smoke.sh [port]   (default 8091)
 set -euo pipefail
@@ -25,7 +27,7 @@ echo "== build ==" >&2
 go build -o /tmp/simd-smoke ./cmd/simd
 
 echo "== boot ==" >&2
-/tmp/simd-smoke -listen "$addr" -profile bench -j 2 &
+/tmp/simd-smoke -listen "$addr" -profile bench -j 2 -prewarm test &
 simd_pid=$!
 trap 'kill "$simd_pid" 2>/dev/null || true' EXIT
 
@@ -65,6 +67,31 @@ grep -q '^simd_queries_executed_total 2$' <<<"$metrics" || {
 }
 grep -q '^simd_pool_hits_total [1-9]' <<<"$metrics" || {
 	echo "second query never hit the warm pool:" >&2
+	echo "$metrics" >&2
+	exit 1
+}
+grep -q '^simd_pool_misses_total 0$' <<<"$metrics" || {
+	echo "-prewarm test did not absorb the cold start (expected 0 misses):" >&2
+	echo "$metrics" >&2
+	exit 1
+}
+grep -q '^simd_pool_prewarmed_total 2$' <<<"$metrics" || {
+	echo "prewarm counter missing or wrong (expected 2 for -j 2):" >&2
+	echo "$metrics" >&2
+	exit 1
+}
+grep -Eq '^simd_events_per_packet [1-9][0-9]*(\.[0-9]+)?$' <<<"$metrics" || {
+	echo "events_per_packet missing or zero after executed queries:" >&2
+	echo "$metrics" >&2
+	exit 1
+}
+grep -q '^simd_machine_warm_reuses_total [1-9]' <<<"$metrics" || {
+	echo "no warm fabric reuses recorded on a prewarmed pool:" >&2
+	echo "$metrics" >&2
+	exit 1
+}
+grep -q '^simd_machine_cold_builds_total 0$' <<<"$metrics" || {
+	echo "serving path built fabrics cold despite -prewarm:" >&2
 	echo "$metrics" >&2
 	exit 1
 }
