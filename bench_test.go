@@ -191,7 +191,7 @@ func BenchmarkFig5MILCBreakdown(b *testing.B) {
 func BenchmarkFig6TileRatios(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t2 := runTable2(b, 1)
-		r := experiments.Fig6FromSamples(t2.Nodes, t2.Samples)
+		r := experiments.Fig6FromTable2(t2)
 		if len(r.Ratios) == 0 {
 			b.Fatal("no ratios")
 		}

@@ -184,7 +184,7 @@ func main() {
 			ran++
 		}
 		if want("fig6") {
-			emit("fig6", experiments.Fig6FromSamples(t2.Nodes, t2.Samples))
+			emit("fig6", experiments.Fig6FromTable2(t2))
 			ran++
 		}
 		if want("fig7") {

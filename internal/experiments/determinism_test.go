@@ -42,18 +42,40 @@ func checkEnsembleDeterminism(t *testing.T, app apps.App) {
 	if len(seq) != len(par) {
 		t.Fatalf("sample counts differ: sequential %d, parallel %d", len(seq), len(par))
 	}
-	// DeepEqual follows the Report pointers, so this compares the full
-	// sample contents — runtimes, counters, per-call profiles.
+	// Campaign samples come back compact: the digest is attached and the
+	// full report dropped on the worker, before the sample is retained.
+	for i := range seq {
+		if seq[i].Report != nil || seq[i].Reduced == nil {
+			t.Fatalf("sample %d not compact: Report attached=%v, Reduced attached=%v",
+				i, seq[i].Report != nil, seq[i].Reduced != nil)
+		}
+	}
+	// DeepEqual follows the Reduced pointers, so this compares the full
+	// retained contents — runtimes, per-call digest times, tile totals.
 	for i := range seq {
 		if !reflect.DeepEqual(seq[i], par[i]) {
 			t.Errorf("sample %d (seed %d, mode %s) differs between workers=1 and workers=8",
 				i, seq[i].Seed, seq[i].Mode)
 		}
 	}
-	// And the rendered artifact derived from the samples must match
-	// byte-for-byte (float summation order preserved by the merge).
-	a := fig6FromSamples(app.Name(), testProfile().NodesMedium, seq).Render()
-	b := fig6FromSamples(app.Name(), testProfile().NodesMedium, par).Render()
+}
+
+// The streaming tile-ratio fold must be worker-count invariant too: the
+// per-class aggregates fold in seed order whatever the schedule, so the
+// rendered Fig. 6 artifact is byte-identical at any fan-out.
+func TestFig6DeterminismAcrossWorkers(t *testing.T) {
+	p := testProfile()
+	p.Workers = 1
+	seq, err := Fig6MILCTileRatios(p, 42)
+	if err != nil {
+		t.Fatalf("workers=1: %v", err)
+	}
+	p.Workers = 8
+	par, err := Fig6MILCTileRatios(p, 42)
+	if err != nil {
+		t.Fatalf("workers=8: %v", err)
+	}
+	a, b := seq.Render(), par.Render()
 	if a != b {
 		t.Errorf("rendered Fig. 6 artifact differs:\n--- workers=1 ---\n%s--- workers=8 ---\n%s", a, b)
 	}

@@ -209,7 +209,7 @@ func TestFig9(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, mode := range []routing.Mode{routing.AD0, routing.AD1, routing.AD2, routing.AD3} {
-		if len(r.Z[mode]) == 0 {
+		if r.Z[mode].Count() == 0 {
 			t.Fatalf("no samples for %s", mode)
 		}
 	}
@@ -256,7 +256,7 @@ func TestFig11(t *testing.T) {
 			RegimeProduction, RegimeIsolated,
 			RegimeControlledCompact, RegimeControlledDisperse,
 		} {
-			if len(r.Ratios[mode][regime]) == 0 {
+			if r.Ratios[mode][regime].Count() == 0 {
 				t.Fatalf("%s/%s empty", mode, regime)
 			}
 		}
@@ -277,7 +277,7 @@ func TestFig13Fig14(t *testing.T) {
 	if r.Before.Windows < 2 {
 		t.Fatalf("windows = %d", r.Before.Windows)
 	}
-	if len(r.Before.NICLatencies) == 0 {
+	if r.Before.NICLatencies.Count() == 0 {
 		t.Fatal("no latency samples")
 	}
 	if !strings.Contains(r.Render(), "Fig. 13") {

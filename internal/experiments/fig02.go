@@ -11,25 +11,23 @@ import (
 
 // ModeStats summarizes one routing mode's runtime sample.
 type ModeStats struct {
-	Mode   routing.Mode
-	N      int
-	Mean   float64
-	Std    float64
-	P95    float64
-	PDF    *stats.Histogram
-	Values []float64
+	Mode routing.Mode
+	N    int
+	Mean float64
+	Std  float64
+	P95  float64
+	PDF  *stats.Histogram
 }
 
-// modeStats computes the summary, applying the paper's ±3σ outlier filter.
-func modeStats(mode routing.Mode, values []float64, lo, hi float64, bins int) ModeStats {
-	filtered := stats.FilterOutliers(values, 3)
-	mean, std := stats.MeanStd(filtered)
+// modeStats computes the summary, applying the paper's ±3σ outlier
+// filter to the aggregated runtimes.
+func modeStats(mode routing.Mode, values *stats.Agg, lo, hi float64, bins int) ModeStats {
+	filtered := values.FilterOutliers(3)
 	return ModeStats{
-		Mode: mode, N: len(filtered),
-		Mean: mean, Std: std,
-		P95:    stats.Percentile(filtered, 95),
-		PDF:    stats.NewHistogram(filtered, lo, hi, bins),
-		Values: filtered,
+		Mode: mode, N: filtered.Count(),
+		Mean: filtered.Mean(), Std: filtered.Std(),
+		P95: filtered.Percentile(95),
+		PDF: filtered.Hist(lo, hi, bins),
 	}
 }
 
@@ -43,6 +41,8 @@ type Fig2Result struct {
 }
 
 // Fig2MILCRuntimePDF runs the production campaigns and builds the PDFs.
+// Runtimes fold into per-mode aggregates as the runs stream; the retained
+// samples are compact (no Reports).
 func Fig2MILCRuntimePDF(p Profile, seed int64) (*Fig2Result, error) {
 	mp, err := p.thetaPool()
 	if err != nil {
@@ -51,16 +51,26 @@ func Fig2MILCRuntimePDF(p Profile, seed int64) (*Fig2Result, error) {
 	res := &Fig2Result{Nodes: p.NodesMedium, PerApp: map[string]map[routing.Mode]ModeStats{}}
 	modes := []routing.Mode{routing.AD0, routing.AD3}
 	for _, a := range []apps.App{apps.MILC{}, apps.MILC{Reorder: true}} {
-		samples, err := productionSamples(mp, p, a, p.NodesMedium, modes, seed)
+		all := stats.NewAgg()
+		perModeAgg := map[routing.Mode]*stats.Agg{}
+		err := productionReduce(mp, p, a, p.NodesMedium, modes, seed,
+			func(idx int, s *Sample) {
+				res.Samples = append(res.Samples, s.Compact())
+				all.Add(s.RuntimeSec)
+				agg := perModeAgg[s.Mode]
+				if agg == nil {
+					agg = stats.NewAgg()
+					perModeAgg[s.Mode] = agg
+				}
+				agg.Add(s.RuntimeSec)
+			})
 		if err != nil {
 			return nil, err
 		}
-		res.Samples = append(res.Samples, samples...)
-		all := runtimes(samples)
-		lo, hi := stats.MinMax(all)
+		lo, hi := all.Min(), all.Max()
 		perMode := map[routing.Mode]ModeStats{}
-		for mode, ss := range byMode(samples) {
-			perMode[mode] = modeStats(mode, runtimes(ss), lo, hi, 10)
+		for mode, agg := range perModeAgg {
+			perMode[mode] = modeStats(mode, agg, lo, hi, 10)
 		}
 		res.PerApp[a.Name()] = perMode
 	}
@@ -99,7 +109,8 @@ func (r *Fig2Result) Render() string {
 }
 
 // Fig2FromSamples derives the Fig. 2 PDFs from an existing sample set
-// (e.g. Table II's runs) instead of launching a fresh campaign.
+// (e.g. Table II's runs) instead of launching a fresh campaign. Compact
+// samples suffice — only runtimes are consumed.
 func Fig2FromSamples(nodes int, samples []Sample) *Fig2Result {
 	res := &Fig2Result{Nodes: nodes, PerApp: map[string]map[routing.Mode]ModeStats{}}
 	perApp := map[string][]Sample{}
@@ -110,11 +121,12 @@ func Fig2FromSamples(nodes int, samples []Sample) *Fig2Result {
 		}
 	}
 	for app, ss := range perApp {
-		all := runtimes(ss)
-		lo, hi := stats.MinMax(all)
+		lo, hi := stats.MinMax(runtimes(ss))
 		perMode := map[routing.Mode]ModeStats{}
 		for mode, ms := range byMode(ss) {
-			perMode[mode] = modeStats(mode, runtimes(ms), lo, hi, 10)
+			agg := stats.NewAgg()
+			agg.AddAll(runtimes(ms))
+			perMode[mode] = modeStats(mode, agg, lo, hi, 10)
 		}
 		res.PerApp[app] = perMode
 	}

@@ -57,27 +57,41 @@ func groupsSpannedStudy(mp *machinePool, machine string, p Profile,
 		res.Points[a.Name()] = map[int][]GroupsPoint{}
 		res.MeanImprovement[a.Name()] = map[int]float64{}
 		for _, nodes := range sizes {
-			samples, err := productionSamples(mp, p, a, nodes, modes, seed+int64(nodes))
+			// Fold runtimes into the pooled and per-mode aggregates as
+			// the campaign streams; only the small GroupsPoint slice is
+			// retained (Normalized temporarily carries the raw runtime
+			// until the pooled moments are known).
+			pooled := stats.NewAgg()
+			perMode := map[routing.Mode]*stats.Agg{}
+			for _, m := range modes {
+				perMode[m] = stats.NewAgg()
+			}
+			pts := make([]GroupsPoint, 0, p.Runs*len(modes))
+			err := productionReduce(mp, p, a, nodes, modes, seed+int64(nodes),
+				func(idx int, s *Sample) {
+					pooled.Add(s.RuntimeSec)
+					perMode[s.Mode].Add(s.RuntimeSec)
+					pts = append(pts, GroupsPoint{
+						Groups: s.Groups, Mode: s.Mode, Normalized: s.RuntimeSec,
+					})
+				})
 			if err != nil {
 				return nil, err
 			}
 			// Z-score against the pooled mean of both modes (the
 			// paper's normalization for a given job size).
-			all := runtimes(samples)
-			mean, std := stats.MeanStd(all)
-			var pts []GroupsPoint
-			for _, s := range samples {
-				z := 0.0
+			mean, std := pooled.Mean(), pooled.Std()
+			for i := range pts {
 				if std > 0 {
-					z = (s.RuntimeSec - mean) / std
+					pts[i].Normalized = (pts[i].Normalized - mean) / std
+				} else {
+					pts[i].Normalized = 0
 				}
-				pts = append(pts, GroupsPoint{Groups: s.Groups, Mode: s.Mode, Normalized: z})
 			}
 			sort.Slice(pts, func(i, j int) bool { return pts[i].Groups < pts[j].Groups })
 			res.Points[a.Name()][nodes] = pts
-			per := byMode(samples)
 			res.MeanImprovement[a.Name()][nodes] =
-				stats.PercentImprovement(runtimes(per[routing.AD0]), runtimes(per[routing.AD3]))
+				stats.PercentImprovementAgg(perMode[routing.AD0], perMode[routing.AD3])
 		}
 	}
 	return res, nil

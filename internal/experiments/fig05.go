@@ -28,29 +28,31 @@ type BreakdownResult struct {
 }
 
 // breakdownFromSamples converts production samples into stacked
-// decompositions using the app-wide dominant calls.
+// decompositions using the app-wide dominant calls. It reads the compact
+// Reduced digest (per-call times are integer sim.Time there, so the
+// numbers are identical to what the full profile produced).
 func breakdownFromSamples(app, figure string, dominant []string, samples []Sample) *BreakdownResult {
 	res := &BreakdownResult{App: app, Figure: figure, Dominant: dominant}
 	for _, s := range samples {
 		if s.App != app {
 			continue
 		}
-		prof := s.Report.Profile
-		ranks := float64(s.Report.Ranks)
+		d := s.Reduced
+		ranks := float64(d.Ranks)
 		run := BreakdownRun{
 			Mode:    s.Mode,
 			Total:   s.RuntimeSec,
-			Compute: prof.ComputeTime.Seconds() / ranks,
+			Compute: d.ComputeTime.Seconds() / ranks,
 			Parts:   map[string]float64{},
 		}
 		var accounted sim.Time
 		for _, call := range dominant {
-			if st := prof.ByCall[call]; st != nil {
-				run.Parts[call] = st.Time.Seconds() / ranks
-				accounted += st.Time
+			if st, ok := d.CallTime[call]; ok {
+				run.Parts[call] = st.Seconds() / ranks
+				accounted += st
 			}
 		}
-		run.Other = (prof.MPITime() - accounted).Seconds() / ranks
+		run.Other = (d.MPITime - accounted).Seconds() / ranks
 		res.Runs = append(res.Runs, run)
 	}
 	return res

@@ -9,54 +9,65 @@ import (
 	"repro/internal/topology"
 )
 
+// tileAggs pools per-tile stalls-to-flits ratios per mode and class as
+// mergeable online aggregates, folded in seed order during the campaign
+// (the distributions cannot be rebuilt from compact samples afterwards).
+type tileAggs = map[routing.Mode]map[topology.TileClass]*stats.Agg
+
+// foldTileRatios folds one full sample's per-class tile ratios into dst.
+// Must run inside the streaming fold, while s.Report is still attached.
+// Every class gets an aggregate (even if empty), mirroring the report's
+// LocalTileRatios keys.
+func foldTileRatios(dst tileAggs, s *Sample) {
+	per := dst[s.Mode]
+	if per == nil {
+		per = map[topology.TileClass]*stats.Agg{}
+		dst[s.Mode] = per
+	}
+	for class := topology.TileClass(0); class < topology.NumTileClasses; class++ {
+		agg := per[class]
+		if agg == nil {
+			agg = stats.NewAgg()
+			per[class] = agg
+		}
+		agg.AddAll(s.Report.LocalTileRatios[class])
+	}
+}
+
 // Fig6Result reproduces the paper's Fig. 6: the stalls-to-flits ratio on
 // the application's local router tiles, broken down by tile class
 // (Rank3/Rank2/Rank1/Proc_req/Proc_rsp), under AD0 vs AD3.
 type Fig6Result struct {
 	App   string
 	Nodes int
-	// Ratios[mode][class] is the distribution of per-tile ratios pooled
-	// over all runs of that mode.
-	Ratios map[routing.Mode]map[topology.TileClass][]float64
+	// Ratios[mode][class] aggregates the per-tile ratios pooled over all
+	// runs of that mode, in run order.
+	Ratios tileAggs
 }
 
-// Fig6MILCTileRatios runs the MILC production campaign and collects the
-// per-class tile counter ratios from the AutoPerf reports.
+// Fig6MILCTileRatios runs the MILC production campaign, folding the
+// per-class tile counter ratios out of each AutoPerf report as it
+// completes — the campaign never retains a full report.
 func Fig6MILCTileRatios(p Profile, seed int64) (*Fig6Result, error) {
 	mp, err := p.thetaPool()
 	if err != nil {
 		return nil, err
 	}
-	samples, err := productionSamples(mp, p, milcApp(), p.NodesMedium,
-		[]routing.Mode{routing.AD0, routing.AD3}, seed)
+	res := &Fig6Result{App: "MILC", Nodes: p.NodesMedium, Ratios: tileAggs{}}
+	err = productionReduce(mp, p, milcApp(), p.NodesMedium,
+		[]routing.Mode{routing.AD0, routing.AD3}, seed,
+		func(idx int, s *Sample) {
+			foldTileRatios(res.Ratios, s)
+		})
 	if err != nil {
 		return nil, err
 	}
-	return fig6FromSamples("MILC", p.NodesMedium, samples), nil
-}
-
-func fig6FromSamples(app string, nodes int, samples []Sample) *Fig6Result {
-	res := &Fig6Result{
-		App: app, Nodes: nodes,
-		Ratios: map[routing.Mode]map[topology.TileClass][]float64{},
-	}
-	for _, s := range samples {
-		if s.App != app {
-			continue
-		}
-		if res.Ratios[s.Mode] == nil {
-			res.Ratios[s.Mode] = map[topology.TileClass][]float64{}
-		}
-		for class, ratios := range s.Report.LocalTileRatios {
-			res.Ratios[s.Mode][class] = append(res.Ratios[s.Mode][class], ratios...)
-		}
-	}
-	return res
+	return res, nil
 }
 
 // MeanRatio returns the mean ratio for (mode, class).
 func (r *Fig6Result) MeanRatio(mode routing.Mode, class topology.TileClass) float64 {
-	return stats.Mean(r.Ratios[mode][class])
+	return r.Ratios[mode][class].Mean()
 }
 
 // Render prints the per-class ratio summary in the paper's order.
@@ -72,13 +83,15 @@ func (r *Fig6Result) Render() string {
 		a0 := r.Ratios[routing.AD0][class]
 		a3 := r.Ratios[routing.AD3][class]
 		fmt.Fprintf(&b, "%-10s %-8.3f/%-13.3f %-8.3f/%-13.3f\n", class,
-			stats.Mean(a0), stats.Percentile(a0, 95),
-			stats.Mean(a3), stats.Percentile(a3, 95))
+			a0.Mean(), a0.Percentile(95),
+			a3.Mean(), a3.Percentile(95))
 	}
 	return b.String()
 }
 
-// Fig6FromSamples derives the Fig. 6 tile ratios from existing samples.
-func Fig6FromSamples(nodes int, samples []Sample) *Fig6Result {
-	return fig6FromSamples("MILC", nodes, samples)
+// Fig6FromTable2 derives the Fig. 6 result from a Table 2 campaign's
+// tile aggregates (the campaign folds MILC's ratios as it streams, so
+// the t2 family shares one set of runs without retaining reports).
+func Fig6FromTable2(t2 *Table2Result) *Fig6Result {
+	return &Fig6Result{App: "MILC", Nodes: t2.Nodes, Ratios: t2.Tiles}
 }

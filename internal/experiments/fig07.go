@@ -13,29 +13,37 @@ import (
 // Table II). It reuses Table II's samples.
 type Fig7Result struct {
 	Nodes int
-	// Z[app][mode] holds the normalized runtimes (pooled normalization
-	// per app across both modes).
-	Z map[string]map[routing.Mode][]float64
+	// Z[app][mode] aggregates the normalized runtimes (pooled
+	// normalization per app across both modes).
+	Z map[string]map[routing.Mode]*stats.Agg
 	// Order preserves the app ordering.
 	Order []string
 }
 
 // Fig7NormalizedAllApps derives the figure from Table II samples.
 func Fig7NormalizedAllApps(t2 *Table2Result) *Fig7Result {
-	res := &Fig7Result{Nodes: t2.Nodes, Z: map[string]map[routing.Mode][]float64{}}
-	perApp := map[string][]Sample{}
+	res := &Fig7Result{Nodes: t2.Nodes, Z: map[string]map[routing.Mode]*stats.Agg{}}
+	pooled := map[string]*stats.Agg{}
+	perMode := map[string]map[routing.Mode]*stats.Agg{}
 	for _, s := range t2.Samples {
-		if _, ok := perApp[s.App]; !ok {
+		if _, ok := pooled[s.App]; !ok {
 			res.Order = append(res.Order, s.App)
+			pooled[s.App] = stats.NewAgg()
+			perMode[s.App] = map[routing.Mode]*stats.Agg{}
 		}
-		perApp[s.App] = append(perApp[s.App], s)
+		pooled[s.App].Add(s.RuntimeSec)
+		agg := perMode[s.App][s.Mode]
+		if agg == nil {
+			agg = stats.NewAgg()
+			perMode[s.App][s.Mode] = agg
+		}
+		agg.Add(s.RuntimeSec)
 	}
 	for _, app := range res.Order {
-		samples := perApp[app]
-		mean, std := stats.MeanStd(runtimes(samples))
-		res.Z[app] = map[routing.Mode][]float64{}
-		for mode, ss := range byMode(samples) {
-			res.Z[app][mode] = stats.ZScoresAgainst(runtimes(ss), mean, std)
+		mean, std := pooled[app].Mean(), pooled[app].Std()
+		res.Z[app] = map[routing.Mode]*stats.Agg{}
+		for mode, agg := range perMode[app] {
+			res.Z[app][mode] = agg.Normalized(mean, std)
 		}
 	}
 	return res
@@ -49,12 +57,11 @@ func (r *Fig7Result) Render() string {
 	for _, app := range r.Order {
 		for _, mode := range []routing.Mode{routing.AD0, routing.AD3} {
 			zs := r.Z[app][mode]
-			if len(zs) == 0 {
+			if zs.Count() == 0 {
 				continue
 			}
-			lo, hi := stats.MinMax(zs)
 			fmt.Fprintf(&b, "%-13s %-7s %-+9.2f %-9.2f %-+9.2f %-+9.2f\n",
-				app, mode, stats.Mean(zs), stats.StdDev(zs), lo, hi)
+				app, mode, zs.Mean(), zs.Std(), zs.Min(), zs.Max())
 		}
 	}
 	return b.String()

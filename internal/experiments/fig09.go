@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -18,8 +19,8 @@ import (
 // Z-scored per application over the pooled mode samples.
 type Fig9Result struct {
 	Nodes int
-	// Z[mode] pools the normalized runtimes of all apps and jobs.
-	Z map[routing.Mode][]float64
+	// Z[mode] aggregates the normalized runtimes of all apps and jobs.
+	Z map[routing.Mode]*stats.Agg
 	// Mean[mode] is the mean normalized runtime.
 	Mean map[routing.Mode]float64
 	// Spread[mode] is max-min of the normalized runtimes.
@@ -29,9 +30,10 @@ type Fig9Result struct {
 // Fig9ControlledAllModes runs the ensembles: for each app and each mode,
 // `EnsembleMedium` simultaneous jobs, half compact, half dispersed. The
 // per-(mode, policy) reservations are independent machine runs, so each
-// app's eight ensembles fan out across the worker pool; aggregation walks
-// the results in the original nesting order, keeping output identical to
-// the sequential sweep.
+// app's eight ensembles fan out across the worker pool; runtimes fold in
+// the original nesting order and each RunResult is dropped right after
+// its fold, keeping output identical to the sequential sweep in O(workers)
+// memory.
 func Fig9ControlledAllModes(p Profile, seed int64) (*Fig9Result, error) {
 	mp, err := p.thetaPool()
 	if err != nil {
@@ -39,7 +41,7 @@ func Fig9ControlledAllModes(p Profile, seed int64) (*Fig9Result, error) {
 	}
 	res := &Fig9Result{
 		Nodes:  p.NodesMedium,
-		Z:      map[routing.Mode][]float64{},
+		Z:      map[routing.Mode]*stats.Agg{},
 		Mean:   map[routing.Mode]float64{},
 		Spread: map[routing.Mode]float64{},
 	}
@@ -49,38 +51,49 @@ func Fig9ControlledAllModes(p Profile, seed int64) (*Fig9Result, error) {
 	if count < 1 {
 		count = 1
 	}
-	// Per app: run each mode's ensemble, collect raw runtimes, z-score
-	// per app over all modes pooled.
+	// Per app: run each mode's ensemble, fold raw runtimes, z-score per
+	// app over all modes pooled, then merge into the cross-app aggregates
+	// in mode order.
 	for _, a := range []apps.App{apps.MILC{}, apps.Nek5000{}, apps.Qbox{}} {
 		a := a
-		runs, err := parallel.Map(mp.workers(), len(modes)*len(policies),
+		perMode := map[routing.Mode]*stats.Agg{}
+		pool := stats.NewAgg()
+		err := parallel.ReduceContext(context.Background(), mp.workers(), len(modes)*len(policies),
 			func(worker, idx int) (*core.RunResult, error) {
 				mi, policy := idx/len(policies), policies[idx%len(policies)]
 				return ensembleRun(mp.machine(worker), p, a, count, p.NodesMedium,
 					modes[mi], policy, seed+int64(mi)*101, nil)
+			},
+			func(idx int, run *core.RunResult) {
+				mode := modes[idx/len(policies)]
+				agg := perMode[mode]
+				if agg == nil {
+					agg = stats.NewAgg()
+					perMode[mode] = agg
+				}
+				for _, j := range run.Jobs {
+					v := j.Runtime.Seconds()
+					agg.Add(v)
+					pool.Add(v)
+				}
 			})
 		if err != nil {
 			return nil, err
 		}
-		perMode := map[routing.Mode][]float64{}
-		var pool []float64
-		for idx, run := range runs {
-			mode := modes[idx/len(policies)]
-			for _, j := range run.Jobs {
-				v := j.Runtime.Seconds()
-				perMode[mode] = append(perMode[mode], v)
-				pool = append(pool, v)
+		mean, std := pool.Mean(), pool.Std()
+		for _, mode := range modes {
+			if perMode[mode] == nil {
+				continue
 			}
-		}
-		mean, std := stats.MeanStd(pool)
-		for mode, vs := range perMode {
-			res.Z[mode] = append(res.Z[mode], stats.ZScoresAgainst(vs, mean, std)...)
+			if res.Z[mode] == nil {
+				res.Z[mode] = stats.NewAgg()
+			}
+			res.Z[mode].Merge(perMode[mode].Normalized(mean, std))
 		}
 	}
 	for mode, zs := range res.Z {
-		res.Mean[mode] = stats.Mean(zs)
-		lo, hi := stats.MinMax(zs)
-		res.Spread[mode] = hi - lo
+		res.Mean[mode] = zs.Mean()
+		res.Spread[mode] = zs.Max() - zs.Min()
 	}
 	return res, nil
 }
@@ -93,7 +106,7 @@ func (r *Fig9Result) Render() string {
 	for _, mode := range []routing.Mode{routing.AD0, routing.AD1, routing.AD2, routing.AD3} {
 		zs := r.Z[mode]
 		fmt.Fprintf(&b, "%-6s %-6d %-+9.3f %-9.3f %-9.2f\n",
-			mode, len(zs), r.Mean[mode], stats.StdDev(zs), r.Spread[mode])
+			mode, zs.Count(), r.Mean[mode], zs.Std(), r.Spread[mode])
 	}
 	return b.String()
 }

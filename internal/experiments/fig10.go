@@ -93,8 +93,8 @@ func ensembleCounterStudy(p Profile, a apps.App, figure string, count, nodes int
 			}
 		}
 		ratios := c.RouterRatios(nil)
-		ec.RouterRatioP50 = stats.Percentile(ratios, 50)
-		ec.RouterRatioP95 = stats.Percentile(ratios, 95)
+		ps := stats.Percentiles(ratios, []float64{50, 95})
+		ec.RouterRatioP50, ec.RouterRatioP95 = ps[0], ps[1]
 		res.PerMode[mode] = ec
 	}
 	return res, nil

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -25,48 +26,61 @@ const (
 // (compact / disperse ensemble) regimes, for AD0 and AD3.
 type Fig11Result struct {
 	Nodes int
-	// Ratios[mode][regime] pools per-tile network-tile ratios.
-	Ratios map[routing.Mode]map[string][]float64
+	// Ratios[mode][regime] aggregates per-tile network-tile ratios.
+	Ratios map[routing.Mode]map[string]*stats.Agg
+}
+
+// regimeAgg returns (creating if needed) one regime's aggregate.
+func (r *Fig11Result) regimeAgg(mode routing.Mode, regime string) *stats.Agg {
+	per := r.Ratios[mode]
+	if per == nil {
+		per = map[string]*stats.Agg{}
+		r.Ratios[mode] = per
+	}
+	agg := per[regime]
+	if agg == nil {
+		agg = stats.NewAgg()
+		per[regime] = agg
+	}
+	return agg
 }
 
 // Fig11RegimeComparison runs all three regimes for both modes. Within a
 // mode the production campaign, the isolated runs, and the two controlled
-// ensembles each fan their independent runs across the worker pool;
-// pooling walks results in run order, so output matches the sequential
-// sweep exactly.
+// ensembles each fan their independent runs across the worker pool; the
+// ratio aggregates fold in run order, so output matches the sequential
+// sweep exactly — and no regime retains a full report past its fold.
 func Fig11RegimeComparison(p Profile, seed int64) (*Fig11Result, error) {
 	mp, err := p.thetaPool()
 	if err != nil {
 		return nil, err
 	}
-	res := &Fig11Result{Nodes: p.NodesMedium, Ratios: map[routing.Mode]map[string][]float64{}}
+	res := &Fig11Result{Nodes: p.NodesMedium, Ratios: map[routing.Mode]map[string]*stats.Agg{}}
 	for _, mode := range []routing.Mode{routing.AD0, routing.AD3} {
 		mode := mode
-		res.Ratios[mode] = map[string][]float64{}
 
 		// Production: noisy machine.
-		prod, err := productionSamples(mp, p, milcApp(), p.NodesMedium,
-			[]routing.Mode{mode}, seed)
-		if err != nil {
-			return nil, err
-		}
-		for _, s := range prod {
-			res.Ratios[mode][RegimeProduction] = append(res.Ratios[mode][RegimeProduction],
-				networkTileRatios(s)...)
-		}
-
-		// Isolated: one job alone.
-		iso, err := parallel.Map(mp.workers(), p.Runs,
-			func(worker, i int) (Sample, error) {
-				return isolatedSample(mp.machine(worker), p, milcApp(), p.NodesMedium,
-					mode, placement.Dispersed, seed+int64(i))
+		prodAgg := res.regimeAgg(mode, RegimeProduction)
+		err := productionReduce(mp, p, milcApp(), p.NodesMedium,
+			[]routing.Mode{mode}, seed, func(idx int, s *Sample) {
+				prodAgg.AddAll(networkTileRatios(s))
 			})
 		if err != nil {
 			return nil, err
 		}
-		for _, s := range iso {
-			res.Ratios[mode][RegimeIsolated] = append(res.Ratios[mode][RegimeIsolated],
-				networkTileRatios(s)...)
+
+		// Isolated: one job alone.
+		isoAgg := res.regimeAgg(mode, RegimeIsolated)
+		err = parallel.ReduceContext(context.Background(), mp.workers(), p.Runs,
+			func(worker, i int) (Sample, error) {
+				return isolatedSample(mp.machine(worker), p, milcApp(), p.NodesMedium,
+					mode, placement.Dispersed, seed+int64(i))
+			},
+			func(i int, s Sample) {
+				isoAgg.AddAll(networkTileRatios(&s))
+			})
+		if err != nil {
+			return nil, err
 		}
 
 		// Controlled: ensembles of the same app, compact and disperse.
@@ -77,21 +91,21 @@ func Fig11RegimeComparison(p Profile, seed int64) (*Fig11Result, error) {
 			{RegimeControlledCompact, placement.Compact},
 			{RegimeControlledDisperse, placement.Dispersed},
 		}
-		runs, err := parallel.Map(mp.workers(), len(regimes),
+		err = parallel.ReduceContext(context.Background(), mp.workers(), len(regimes),
 			func(worker, idx int) (*core.RunResult, error) {
 				return ensembleRun(mp.machine(worker), p, milcApp(), p.EnsembleMedium,
 					p.NodesMedium, mode, regimes[idx].policy, seed+977, nil)
+			},
+			func(idx int, run *core.RunResult) {
+				agg := res.regimeAgg(mode, regimes[idx].regime)
+				for _, j := range run.Jobs {
+					for _, class := range networkClasses {
+						agg.AddAll(j.Report.LocalTileRatios[class])
+					}
+				}
 			})
 		if err != nil {
 			return nil, err
-		}
-		for idx, rc := range regimes {
-			for _, j := range runs[idx].Jobs {
-				for _, class := range networkClasses {
-					res.Ratios[mode][rc.regime] = append(res.Ratios[mode][rc.regime],
-						j.Report.LocalTileRatios[class]...)
-				}
-			}
 		}
 	}
 	return res, nil
@@ -109,12 +123,12 @@ func (r *Fig11Result) Render() string {
 			RegimeIsolated, RegimeControlledCompact, RegimeProduction, RegimeControlledDisperse,
 		} {
 			ratios := r.Ratios[mode][regime]
-			if len(ratios) == 0 {
+			if ratios.Count() == 0 {
 				continue
 			}
-			ps := stats.Percentiles(ratios, []float64{25, 50, 75, 95})
+			ps := ratios.Percentiles([]float64{25, 50, 75, 95})
 			fmt.Fprintf(&b, "  %-20s n=%-6d mean=%-8.3f p25=%-8.3f p50=%-8.3f p75=%-8.3f p95=%-8.3f\n",
-				regime, len(ratios), stats.Mean(ratios), ps[0], ps[1], ps[2], ps[3])
+				regime, ratios.Count(), ratios.Mean(), ps[0], ps[1], ps[2], ps[3])
 		}
 	}
 	return b.String()

@@ -21,12 +21,15 @@ type CampaignWindowStats struct {
 	Totals  network.ClassTotals
 	Windows int
 	// Per-window network flits and stalls (the paper's Fig. 13 time
-	// series), plus the pooled per-router ratio distribution.
+	// series; one point per LDMS window).
 	WindowFlits  []float64
 	WindowStalls []float64
-	RouterRatios []float64
-	// NICLatencies pools per-NIC mean latency samples (Fig. 14 input).
-	NICLatencies []float64
+	// RouterRatios pools the per-router per-window ratio distribution and
+	// NICLatencies the per-NIC mean-latency samples (Fig. 14 input). Both
+	// are streamed by the LDMS daemon under Options.Stream, so the
+	// campaign never materializes the raw sample slices.
+	RouterRatios *stats.Agg
+	NICLatencies *stats.Agg
 }
 
 // Fig13Result compares the two eras.
@@ -60,6 +63,7 @@ func Fig13DefaultSwitch(p Profile, seed int64) (*Fig13Result, error) {
 			Period:             p.LDMSPeriod,
 			RecordRouterRatios: true,
 			RecordNICLatency:   true,
+			Stream:             true,
 		}, seed)
 		if err != nil {
 			return err
@@ -76,8 +80,8 @@ func Fig13DefaultSwitch(p Profile, seed int64) (*Fig13Result, error) {
 			st.WindowStalls = append(st.WindowStalls, stalls)
 		}
 		st.Windows = len(st.WindowFlits)
-		st.RouterRatios = camp.LDMS.AllRouterRatios()
-		st.NICLatencies = camp.LDMS.AllNICLatencies()
+		st.RouterRatios = camp.LDMS.RouterRatioAgg()
+		st.NICLatencies = camp.LDMS.NICLatencyAgg()
 		*era.dst = st
 		return nil
 	})
@@ -106,12 +110,13 @@ func (r *Fig13Result) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fig. 13 — system-wide counters before (AD0) and after (AD3) the default change\n")
 	for _, st := range []CampaignWindowStats{r.Before, r.After} {
+		ps := st.RouterRatios.Percentiles([]float64{50, 95})
 		fmt.Fprintf(&b, "%-4s windows=%-4d netFlits=%-14.3g netStalls=%-14.3g ratio=%.3f routerRatio p50=%.3f p95=%.3f\n",
 			st.Mode, st.Windows,
 			stats.Mean(st.WindowFlits)*float64(st.Windows),
 			stats.Mean(st.WindowStalls)*float64(st.Windows),
 			st.NetworkRatio(),
-			stats.Percentile(st.RouterRatios, 50), stats.Percentile(st.RouterRatios, 95))
+			ps[0], ps[1])
 	}
 	b0, a3 := r.Before.NetworkRatio(), r.After.NetworkRatio()
 	if b0 > 0 {

@@ -3,8 +3,6 @@ package experiments
 import (
 	"fmt"
 	"strings"
-
-	"repro/internal/stats"
 )
 
 // fig14Percentiles are the sampled percentiles of the paper's Fig. 14.
@@ -26,9 +24,9 @@ type Fig14Result struct {
 // campaign latency sample pools.
 func Fig14LatencyPercentiles(f13 *Fig13Result) *Fig14Result {
 	res := &Fig14Result{Percentiles: fig14Percentiles}
-	before := stats.Percentiles(f13.Before.NICLatencies, fig14Percentiles)
-	after := stats.Percentiles(f13.After.NICLatencies, fig14Percentiles)
-	res.Samples = [2]int{len(f13.Before.NICLatencies), len(f13.After.NICLatencies)}
+	before := f13.Before.NICLatencies.Percentiles(fig14Percentiles)
+	after := f13.After.NICLatencies.Percentiles(fig14Percentiles)
+	res.Samples = [2]int{f13.Before.NICLatencies.Count(), f13.After.NICLatencies.Count()}
 	for i := range fig14Percentiles {
 		b := before[i] * 1e6
 		a := after[i] * 1e6

@@ -7,19 +7,20 @@ import (
 	"repro/internal/routing"
 )
 
-// TestFusedProfileFigures validates Profile.FuseLinks at the figure
-// level: the production config has rampant exact-timestamp event ties
-// (every full packet is exactly one MTU), where the fused and split
-// models legitimately schedule contention races in different orders, so
-// byte-identity is not owed (see network's fused equivalence tests for
-// the tie-free identity proof). What must hold instead is that fusion
+// TestFusedProfileFigures validates the fused-vs-split link models at
+// the figure level: the production config has rampant exact-timestamp
+// event ties (every full packet is exactly one MTU), where the fused and
+// split models legitimately schedule contention races in different
+// orders, so byte-identity is not owed (see network's fused equivalence
+// tests for the tie-free identity proof). What must hold instead is that
+// fusion — now the default; Profile.SplitLinks restores the reference —
 // does not move the paper's results: per-app per-mode mean runtimes stay
 // within a fraction of the reference campaign's own run-to-run spread,
 // and the AD3-vs-AD0 ordering that Fig. 2 reports is preserved.
 func TestFusedProfileFigures(t *testing.T) {
 	ref := testProfile()
+	ref.SplitLinks = true
 	fused := testProfile()
-	fused.FuseLinks = true
 
 	rRef, err := Fig2MILCRuntimePDF(ref, 3)
 	if err != nil {
@@ -69,14 +70,17 @@ func TestFusedProfileFigures(t *testing.T) {
 		if len(f6Fused.Ratios[mode]) == 0 {
 			t.Fatalf("fused fig6: no ratios for %s", mode)
 		}
-		var all []float64
-		var allRef []float64
+		// Pool across classes by count-weighting the per-class aggregates.
+		var sumFused, sumRef float64
+		var nFused, nRef int
 		for class, rs := range f6Fused.Ratios[mode] {
-			all = append(all, rs...)
-			allRef = append(allRef, f6Ref.Ratios[mode][class]...)
+			sumFused += rs.Sum()
+			nFused += rs.Count()
+			sumRef += f6Ref.Ratios[mode][class].Sum()
+			nRef += f6Ref.Ratios[mode][class].Count()
 		}
-		mRef := mean(allRef)
-		mFused := mean(all)
+		mRef := pooledMean(sumRef, nRef)
+		mFused := pooledMean(sumFused, nFused)
 		if mRef > 0 {
 			if d := math.Abs(mFused - mRef); d > 0.25*mRef+0.01 {
 				t.Errorf("fig6 %s: fused mean tile ratio %.4f vs reference %.4f",
@@ -86,13 +90,9 @@ func TestFusedProfileFigures(t *testing.T) {
 	}
 }
 
-func mean(xs []float64) float64 {
-	if len(xs) == 0 {
+func pooledMean(sum float64, n int) float64 {
+	if n == 0 {
 		return 0
 	}
-	var s float64
-	for _, x := range xs {
-		s += x
-	}
-	return s / float64(len(xs))
+	return sum / float64(n)
 }

@@ -57,14 +57,15 @@ type Profile struct {
 	// runs strictly sequentially — produces identical output.
 	Workers int
 
-	// FuseLinks turns on network.Params.FuseLinks for every machine the
-	// profile builds: link hops deliver in one fused kernel event instead
-	// of separate completion+arrival events (~25% fewer events per
-	// packet), at the cost of pricing hop contention at serialization
-	// start rather than end. The figure-level results stay within the
-	// campaign's run-to-run spread (TestFusedProfileFigures pins this);
-	// goldens are recorded with it off.
-	FuseLinks bool
+	// SplitLinks turns OFF network.Params.FuseLinks for every machine the
+	// profile builds, restoring the split reference model: separate
+	// serialization-completion and propagation-arrival events per link
+	// hop instead of the fused hop-done event. Fusion is the default
+	// (goldens are recorded under it; ~25% fewer events per packet), so
+	// this knob exists for equivalence checks and debugging — the
+	// figure-level results stay within the campaign's run-to-run spread
+	// either way (TestFusedProfileFigures pins this).
+	SplitLinks bool
 }
 
 // workers clamps the fan-out to at least one.
@@ -141,8 +142,8 @@ func (p Profile) pool(cfg topology.Config) (*machinePool, error) {
 	if err != nil {
 		return nil, err
 	}
-	if p.FuseLinks {
-		mp.apply(func(m *core.Machine) { m.Net.FuseLinks = true })
+	if p.SplitLinks {
+		mp.apply(func(m *core.Machine) { m.Net.FuseLinks = false })
 	}
 	return mp, nil
 }

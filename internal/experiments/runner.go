@@ -79,7 +79,16 @@ type Sample struct {
 	Nodes      int
 	Groups     int // dragonfly groups spanned by the placement
 	RuntimeSec float64
-	Report     *autoperf.Report
+	// Report is the run's full AutoPerf output. Campaign pipelines hold
+	// it only inside their streaming fold (its LocalTileRatios slices
+	// scale with router count); retained samples carry nil here and keep
+	// the fixed-size Reduced digest instead. Isolated/single-run paths
+	// still populate it.
+	Report *autoperf.Report
+	// Reduced is the fixed-size digest built on the worker right after
+	// the run completes; it survives compaction and is what long-lived
+	// consumers (figures, tables, the simd service) read.
+	Reduced *autoperf.Reduced
 	// MinPkts / NonMinPkts count the job's own adaptive routing decisions,
 	// and MeanTransitSec is the mean network transit of its packets —
 	// per-run routing diagnostics the simd service aggregates into its
@@ -98,10 +107,25 @@ type Sample struct {
 
 // MPISec returns the per-rank average MPI time in seconds.
 func (s Sample) MPISec() float64 {
+	if s.Reduced != nil {
+		if s.Reduced.Ranks == 0 {
+			return 0
+		}
+		return s.Reduced.MPITime.Seconds() / float64(s.Reduced.Ranks)
+	}
 	if s.Report == nil || s.Report.Ranks == 0 {
 		return 0
 	}
 	return s.Report.Profile.MPITime().Seconds() / float64(s.Report.Ranks)
+}
+
+// Compact returns the sample with its full Report dropped; the Reduced
+// digest (always present on campaign samples) carries everything a
+// retained sample needs. Folds that keep samples beyond the streaming
+// window must keep this, not the original.
+func (s Sample) Compact() Sample {
+	s.Report = nil
+	return s
 }
 
 // jobSpec assembles the JobSpec for one production run. clusterGroups <= 0
@@ -139,16 +163,47 @@ func productionSamples(mp *machinePool, p Profile, app apps.App, nodes int,
 		modes, core.DefaultBackground(), seedBase)
 }
 
-// productionSamplesCtx is the parameterized core of productionSamples:
-// explicit background conditions (nil bg runs the jobs on an otherwise
-// idle machine) and cooperative cancellation between runs. bg is shared
-// read-only across tasks — Machine.Run copies it before mutating.
+// productionSamplesCtx is the list-building wrapper over the streaming
+// core: it retains one compact (Report-free) sample per task, in seed
+// order. On error the returned slice holds the successful prefix/suffix
+// samples in order (failed tasks contribute nothing); callers that need
+// all-or-nothing semantics discard it when err != nil.
 func productionSamplesCtx(ctx context.Context, mp *machinePool, p Profile,
 	app apps.App, nodes int, modes []routing.Mode, bg *core.BackgroundSpec,
 	seedBase int64) ([]Sample, error) {
 
+	out := make([]Sample, 0, p.Runs*len(modes))
+	err := productionReduceCtx(ctx, mp, p, app, nodes, modes, bg, seedBase,
+		func(idx int, s *Sample) {
+			out = append(out, s.Compact())
+		})
+	return out, err
+}
+
+// productionReduce is productionReduceCtx under the default background
+// and context — the entry the figure/table folds use.
+func productionReduce(mp *machinePool, p Profile, app apps.App, nodes int,
+	modes []routing.Mode, seedBase int64, fold func(idx int, s *Sample)) error {
+
+	return productionReduceCtx(context.Background(), mp, p, app, nodes,
+		modes, core.DefaultBackground(), seedBase, fold)
+}
+
+// productionReduceCtx is the streaming core of the production campaign:
+// each (run, mode) task executes on its worker's machine and its full
+// Sample — Report attached, Reduced digest already built — is handed to
+// fold in strict (run, mode) order, exactly the order the sequential
+// nested loop would produce. The Report reference is dropped as soon as
+// fold returns, so with parallel.ReduceContext's bounded reordering
+// window the campaign retains O(workers) Reports at any moment, no
+// matter how many runs it has. fold must not keep s.Report (or s itself)
+// past its return; retain s.Compact() instead.
+func productionReduceCtx(ctx context.Context, mp *machinePool, p Profile,
+	app apps.App, nodes int, modes []routing.Mode, bg *core.BackgroundSpec,
+	seedBase int64, fold func(idx int, s *Sample)) error {
+
 	maxGroups := mp.machine(0).Topo.Cfg.Groups
-	return parallel.MapContext(ctx, mp.workers(), p.Runs*len(modes),
+	return parallel.ReduceContext(ctx, mp.workers(), p.Runs*len(modes),
 		func(worker, idx int) (Sample, error) {
 			i, mode := idx/len(modes), modes[idx%len(modes)]
 			seed := seedBase + int64(i)
@@ -169,12 +224,17 @@ func productionSamplesCtx(ctx context.Context, mp *machinePool, p Profile,
 			return Sample{
 				App: app.Name(), Mode: mode, Seed: seed,
 				Nodes: nodes, Groups: job.GroupsSpanned,
-				RuntimeSec: job.Runtime.Seconds(), Report: job.Report,
-				MinPkts: job.MinimalPkts, NonMinPkts: job.NonMinimalPkts,
+				RuntimeSec: job.Runtime.Seconds(),
+				Report:     job.Report,
+				Reduced:    job.Report.Reduce(),
+				MinPkts:    job.MinimalPkts, NonMinPkts: job.NonMinimalPkts,
 				MeanTransitSec: job.MeanTransit.Seconds(),
 				Events:         res.EventsExecuted,
 				Packets:        res.PacketsDelivered,
 			}, nil
+		},
+		func(idx int, s Sample) {
+			fold(idx, &s)
 		})
 }
 
@@ -183,9 +243,11 @@ func productionSamplesCtx(ctx context.Context, mp *machinePool, p Profile,
 // one configuration; len(machines) sets the fan-out, and each machine is
 // rewound warm across the runs assigned to its slot exactly as the batch
 // pool does, so results are byte-identical to a batch campaign with the
-// same arguments. Cancelling ctx stops undispatched runs (they fail with
-// ctx's error in the returned sample slice); a run already simulating
-// completes first.
+// same arguments. Samples come back compact: the full per-run
+// autoperf.Report is digested into Sample.Reduced on the worker and
+// dropped, so a long-lived service process retains fixed-size samples.
+// Cancelling ctx stops undispatched runs and returns ctx's error; runs
+// already simulating complete first and their samples are kept.
 func (p Profile) SamplesOn(ctx context.Context, machines []*core.Machine,
 	app apps.App, nodes int, modes []routing.Mode, bg *core.BackgroundSpec,
 	seedBase int64) ([]Sample, error) {
@@ -220,7 +282,9 @@ func isolatedSample(m *core.Machine, p Profile, app apps.App, nodes int,
 	return Sample{
 		App: app.Name(), Mode: mode, Seed: seed,
 		Nodes: nodes, Groups: job.GroupsSpanned,
-		RuntimeSec: job.Runtime.Seconds(), Report: job.Report,
+		RuntimeSec: job.Runtime.Seconds(),
+		Report:     job.Report,
+		Reduced:    job.Report.Reduce(),
 	}, nil
 }
 
@@ -275,9 +339,14 @@ var networkClasses = []topology.TileClass{
 }
 
 // networkTileRatios pools a sample's per-tile stalls-to-flits ratios over
-// the network tile classes.
-func networkTileRatios(s Sample) []float64 {
-	var out []float64
+// the network tile classes. Requires the full Report — call it inside a
+// streaming fold, before the sample is compacted.
+func networkTileRatios(s *Sample) []float64 {
+	n := 0
+	for _, class := range networkClasses {
+		n += len(s.Report.LocalTileRatios[class])
+	}
+	out := make([]float64, 0, n)
 	for _, class := range networkClasses {
 		out = append(out, s.Report.LocalTileRatios[class]...)
 	}

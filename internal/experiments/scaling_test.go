@@ -28,19 +28,25 @@ func TestEnsembleWarmPoolArtifactBytes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cold, err := productionSamples(mp, p, app, p.NodesMedium, modes, 42)
-	if err != nil {
-		t.Fatal(err)
+	campaign := func() ([]Sample, *Fig6Result) {
+		tiles := tileAggs{}
+		var samples []Sample
+		err := productionReduce(mp, p, app, p.NodesMedium, modes, 42,
+			func(idx int, s *Sample) {
+				samples = append(samples, s.Compact())
+				foldTileRatios(tiles, s)
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return samples, &Fig6Result{App: app.Name(), Nodes: p.NodesMedium, Ratios: tiles}
 	}
-	warm, err := productionSamples(mp, p, app, p.NodesMedium, modes, 42)
-	if err != nil {
-		t.Fatal(err)
-	}
+	cold, f6Cold := campaign()
+	warm, f6Warm := campaign()
 	if !reflect.DeepEqual(cold, warm) {
 		t.Error("warm-pool campaign samples differ from the cold-pool campaign")
 	}
-	a := fig6FromSamples(app.Name(), p.NodesMedium, cold).Render()
-	b := fig6FromSamples(app.Name(), p.NodesMedium, warm).Render()
+	a, b := f6Cold.Render(), f6Warm.Render()
 	if a != b {
 		t.Errorf("rendered Fig. 6 differs between cold and warm pool:\n--- cold ---\n%s--- warm ---\n%s", a, b)
 	}

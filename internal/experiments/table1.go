@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -36,7 +37,11 @@ var collCalls = []string{"MPI_Allreduce", "MPI_Alltoall", "MPI_Alltoallv", "MPI_
 
 // Table1Characterization runs each app isolated at the medium size on the
 // default routing and extracts its communication properties. The six apps
-// are independent single runs, so they fan out one per worker.
+// are independent single runs, so they fan out one per worker; each row
+// is folded in app order and the full report dropped right after, so at
+// most O(workers) reports are live at once. The byte/call columns need
+// the full per-call profile, which is why this folds Reports rather than
+// consuming compact digests.
 func Table1Characterization(p Profile, seed int64) (*Table1Result, error) {
 	mp, err := p.thetaPool()
 	if err != nil {
@@ -44,42 +49,41 @@ func Table1Characterization(p Profile, seed int64) (*Table1Result, error) {
 	}
 	res := &Table1Result{Nodes: p.NodesMedium}
 	all := apps.All()
-	samples, err := parallel.Map(mp.workers(), len(all),
+	err = parallel.ReduceContext(context.Background(), mp.workers(), len(all),
 		func(worker, idx int) (Sample, error) {
 			return isolatedSample(mp.machine(worker), p, all[idx],
 				p.NodesMedium, routing.AD0, placement.Compact, seed)
+		},
+		func(idx int, s Sample) {
+			prof := s.Report.Profile
+			row := Table1Row{App: all[idx].Name(), MPIPercent: 100 * s.Report.MPIFraction()}
+			var p2pBytes, p2pCallsN, collBytes, collCallsN uint64
+			for _, name := range p2pCalls {
+				if st := prof.ByCall[name]; st != nil {
+					p2pBytes += st.Bytes
+					p2pCallsN += st.Calls
+				}
+			}
+			for _, name := range collCalls {
+				if st := prof.ByCall[name]; st != nil {
+					collBytes += st.Bytes
+					collCallsN += st.Calls
+				}
+			}
+			if p2pCallsN > 0 {
+				row.P2PAvgBytes = float64(p2pBytes) / float64(p2pCallsN)
+			}
+			if collCallsN > 0 {
+				row.CollBytes = float64(collBytes) / float64(collCallsN)
+			}
+			top := prof.TopCalls(3)
+			for i := 0; i < 3 && i < len(top); i++ {
+				row.TopCalls[i] = top[i]
+			}
+			res.Rows = append(res.Rows, row)
 		})
 	if err != nil {
 		return nil, err
-	}
-	for i, a := range all {
-		s := samples[i]
-		prof := s.Report.Profile
-		row := Table1Row{App: a.Name(), MPIPercent: 100 * s.Report.MPIFraction()}
-		var p2pBytes, p2pCallsN, collBytes, collCallsN uint64
-		for _, name := range p2pCalls {
-			if st := prof.ByCall[name]; st != nil {
-				p2pBytes += st.Bytes
-				p2pCallsN += st.Calls
-			}
-		}
-		for _, name := range collCalls {
-			if st := prof.ByCall[name]; st != nil {
-				collBytes += st.Bytes
-				collCallsN += st.Calls
-			}
-		}
-		if p2pCallsN > 0 {
-			row.P2PAvgBytes = float64(p2pBytes) / float64(p2pCallsN)
-		}
-		if collCallsN > 0 {
-			row.CollBytes = float64(collBytes) / float64(collCallsN)
-		}
-		top := prof.TopCalls(3)
-		for i := 0; i < 3 && i < len(top); i++ {
-			row.TopCalls[i] = top[i]
-		}
-		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
 }

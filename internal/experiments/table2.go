@@ -22,42 +22,55 @@ type Table2Row struct {
 	WelchT          float64 // significance of the runtime difference
 }
 
-// Table2Result is the full table plus the raw samples (shared with Figs.
-// 5-8, which decompose the same runs).
+// Table2Result is the full table plus the campaign's residue shared with
+// the rest of the t2 family: compact per-run samples (Figs. 2/5/7/8) and
+// MILC's tile-ratio aggregates (Fig. 6 via Fig6FromTable2). The full
+// autoperf.Reports exist only inside the streaming fold.
 type Table2Result struct {
 	Nodes   int
 	Rows    []Table2Row
 	Samples []Sample
+	Tiles   tileAggs
 }
 
 // Table2AllApps runs the production campaign for every application at the
-// medium size under AD0 and AD3.
+// medium size under AD0 and AD3, folding statistics as the runs stream.
 func Table2AllApps(p Profile, seed int64) (*Table2Result, error) {
 	mp, err := p.thetaPool()
 	if err != nil {
 		return nil, err
 	}
-	res := &Table2Result{Nodes: p.NodesMedium}
+	res := &Table2Result{Nodes: p.NodesMedium, Tiles: tileAggs{}}
 	modes := []routing.Mode{routing.AD0, routing.AD3}
 	for _, a := range apps.All() {
-		samples, err := productionSamples(mp, p, a, p.NodesMedium, modes, seed)
+		rt := map[routing.Mode]*stats.Agg{}
+		mpiT := map[routing.Mode]*stats.Agg{}
+		for _, m := range modes {
+			rt[m], mpiT[m] = stats.NewAgg(), stats.NewAgg()
+		}
+		isMILC := a.Name() == milcApp().Name()
+		err := productionReduce(mp, p, a, p.NodesMedium, modes, seed,
+			func(idx int, s *Sample) {
+				res.Samples = append(res.Samples, s.Compact())
+				rt[s.Mode].Add(s.RuntimeSec)
+				mpiT[s.Mode].Add(s.MPISec())
+				if isMILC {
+					foldTileRatios(res.Tiles, s)
+				}
+			})
 		if err != nil {
 			return nil, err
 		}
-		res.Samples = append(res.Samples, samples...)
-		per := byMode(samples)
-		rt0 := stats.FilterOutliers(runtimes(per[routing.AD0]), 3)
-		rt3 := stats.FilterOutliers(runtimes(per[routing.AD3]), 3)
-		m0, s0 := stats.MeanStd(rt0)
-		m3, s3 := stats.MeanStd(rt3)
-		tstat, _ := stats.WelchT(rt0, rt3)
+		f0 := rt[routing.AD0].FilterOutliers(3)
+		f3 := rt[routing.AD3].FilterOutliers(3)
+		tstat, _ := stats.WelchTAgg(f0, f3)
 		res.Rows = append(res.Rows, Table2Row{
 			App:     a.Name(),
-			MeanAD0: m0, StdAD0: s0,
-			MeanAD3: m3, StdAD3: s3,
-			ImprovePct:    stats.PercentImprovement(rt0, rt3),
-			ImproveMPIPct: stats.PercentImprovement(mpiTimes(per[routing.AD0]), mpiTimes(per[routing.AD3])),
-			Runs:          len(rt0),
+			MeanAD0: f0.Mean(), StdAD0: f0.Std(),
+			MeanAD3: f3.Mean(), StdAD3: f3.Std(),
+			ImprovePct:    stats.PercentImprovementAgg(f0, f3),
+			ImproveMPIPct: stats.PercentImprovementAgg(mpiT[routing.AD0], mpiT[routing.AD3]),
+			Runs:          f0.Count(),
 			WelchT:        tstat,
 		})
 	}

@@ -7,6 +7,7 @@ package ldms
 import (
 	"repro/internal/network"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/topology"
 )
 
@@ -29,6 +30,13 @@ type Options struct {
 	Period             sim.Time
 	RecordRouterRatios bool
 	RecordNICLatency   bool
+	// Stream drops the per-window RouterRatios/NICLatency sample slices
+	// and keeps only the daemon-level online aggregates, so a long
+	// campaign's monitoring footprint stays bounded no matter how many
+	// windows elapse. The pooled distributions remain available through
+	// RouterRatioAgg and NICLatencyAgg (which are maintained in either
+	// mode); AllRouterRatios/AllNICLatencies return nil under Stream.
+	Stream bool
 }
 
 // Daemon periodically samples a fabric's counters. Start schedules the
@@ -41,6 +49,11 @@ type Daemon struct {
 	prevAt  sim.Time
 	samples []Sample
 	stopped bool
+	// Pooled online distributions across all windows. Ticks run on the
+	// single-threaded event kernel, so the fold order (window by window,
+	// router/node index within a window) is deterministic.
+	routerAgg *stats.Agg
+	nicAgg    *stats.Agg
 }
 
 // Start launches a daemon on fab's kernel.
@@ -49,6 +62,12 @@ func Start(fab *network.Fabric, opts Options) *Daemon {
 		opts.Period = sim.Second // LDMS default on Theta: 1 minute; ours: 1s windows
 	}
 	d := &Daemon{fab: fab, opts: opts, prev: fab.Counters().Snapshot(), prevAt: fab.Kernel().Now()}
+	if opts.RecordRouterRatios {
+		d.routerAgg = stats.NewAgg()
+	}
+	if opts.RecordNICLatency {
+		d.nicAgg = stats.NewAgg()
+	}
 	d.arm()
 	return d
 }
@@ -70,14 +89,22 @@ func (d *Daemon) tick() {
 	delta := cur.Sub(d.prev)
 	s := Sample{At: now, Totals: delta.Aggregate(nil)}
 	if d.opts.RecordRouterRatios {
-		s.RouterRatios = delta.RouterRatios(nil)
+		ratios := delta.RouterRatios(nil)
+		d.routerAgg.AddAll(ratios)
+		if !d.opts.Stream {
+			s.RouterRatios = ratios
+		}
 	}
 	if d.opts.RecordNICLatency {
 		topo := d.fab.Topology()
 		for n := 0; n < topo.NumNodes(); n++ {
 			if delta.ORBCount[n] > 0 {
 				lat := delta.ORBTimeSum[n] / sim.Time(delta.ORBCount[n])
-				s.NICLatency = append(s.NICLatency, lat.Seconds())
+				v := lat.Seconds()
+				d.nicAgg.Add(v)
+				if !d.opts.Stream {
+					s.NICLatency = append(s.NICLatency, v)
+				}
 			}
 		}
 	}
@@ -120,8 +147,18 @@ func (d *Daemon) TotalsOverall() network.ClassTotals {
 	return ct
 }
 
+// RouterRatioAgg returns the pooled per-router per-window ratio
+// distribution across all windows (nil when RecordRouterRatios unset;
+// *stats.Agg reads are nil-safe).
+func (d *Daemon) RouterRatioAgg() *stats.Agg { return d.routerAgg }
+
+// NICLatencyAgg returns the pooled per-NIC mean-latency distribution
+// across all windows (nil when RecordNICLatency unset).
+func (d *Daemon) NICLatencyAgg() *stats.Agg { return d.nicAgg }
+
 // AllRouterRatios concatenates router-ratio samples across windows (the
-// population behind the paper's Fig. 13 STALLS/FLITS panels).
+// population behind the paper's Fig. 13 STALLS/FLITS panels). Empty when
+// Options.Stream dropped the per-window slices — use RouterRatioAgg.
 func (d *Daemon) AllRouterRatios() []float64 {
 	var out []float64
 	for _, s := range d.samples {
@@ -131,7 +168,8 @@ func (d *Daemon) AllRouterRatios() []float64 {
 }
 
 // AllNICLatencies concatenates per-NIC mean-latency samples across windows
-// (the population behind the paper's Fig. 14 percentiles).
+// (the population behind the paper's Fig. 14 percentiles). Empty when
+// Options.Stream dropped the per-window slices — use NICLatencyAgg.
 func (d *Daemon) AllNICLatencies() []float64 {
 	var out []float64
 	for _, s := range d.samples {

@@ -50,11 +50,18 @@ func (f *Fabric) injectRaw(src, dst topology.NodeID, bytes int) {
 // event, delivery, and recycling — must execute zero heap allocations.
 // This is the tentpole invariant of the zero-allocation hot path; any new
 // per-packet allocation fails here before it shows up in GC profiles.
+// It pins the split reference model explicitly (FuseLinks now defaults
+// on); the fused budget is TestPacketHopAllocFreeFused.
 func TestPacketHopAllocFree(t *testing.T) {
-	f := testFabric(t, 4, 77)
+	topo, err := topology.Build(topology.TestConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultParams()
+	params.FuseLinks = false
+	f := New(sim.NewKernel(), topo, params, routing.DefaultConfig(), 77)
 	warmFabric(t, f, 400)
 
-	topo := f.Topology()
 	rng := rand.New(rand.NewSource(5))
 	n := topo.NumNodes()
 	const perRun = 32

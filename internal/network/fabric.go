@@ -70,9 +70,12 @@ type Params struct {
 	// scheduling trick: with HopContention == 0 the fused model is
 	// observably equivalent to the split reference (the equivalence and
 	// fuzz tests in fused_test.go pin it), while with contention enabled
-	// the delay estimate is one serialization time staler. The split
-	// path remains the reference model, the same pattern NoRecycle uses;
-	// sender-side bookkeeping (flit counters, buffer release, waiter
+	// the delay estimate is one serialization time staler. Fusion is the
+	// default (DefaultParams sets it; goldens are recorded under it);
+	// the split path remains available as the reference model for
+	// equivalence tests and debugging, the same pattern NoRecycle uses —
+	// experiments.Profile.SplitLinks reaches it from the campaign layer.
+	// Sender-side bookkeeping (flit counters, buffer release, waiter
 	// wake) settles lazily — see (*Fabric).settle.
 	FuseLinks bool
 }
@@ -89,6 +92,7 @@ func DefaultParams() Params {
 		LoadStaleness: 3 * sim.Microsecond,
 		LoadJitter:    0.75,
 		HopContention: 1.0,
+		FuseLinks:     true, // ~25% fewer events/packet; split path = reference
 	}
 }
 

@@ -135,6 +135,139 @@ func firstError(errs []error) error {
 	return nil
 }
 
+// Reduce is ReduceContext with a background context.
+func Reduce[T any](workers, n int, fn func(worker, index int) (T, error), fold func(index int, v T)) error {
+	return ReduceContext(context.Background(), workers, n, fn, fold)
+}
+
+// ReduceContext runs fn(worker, index) for every index in [0, n) like
+// MapContext, but instead of materializing an n-length result slice it
+// folds each successful result — in strictly increasing index order —
+// into caller state via fold, then drops it. This is the streaming
+// complement to MapContext: retained memory is O(workers), not O(n). A
+// worker that completes index i parks its result until every lower index
+// has been folded or recorded as failed, and a bounded reordering window
+// keeps the parking lot small: no task runs more than `workers` indices
+// ahead of the fold frontier (a worker that pulls too far ahead blocks
+// until the frontier catches up), so at most `workers` results exist
+// outside the fold at any moment.
+//
+// fold is called under an internal lock — never concurrently with itself
+// — on whichever worker goroutine deposits the result that unblocks the
+// index order; it must not call back into the reducer. The error
+// contract matches MapContext: all n indices are attempted (after
+// cancellation the unclaimed remainder fail with ctx's error), fold is
+// skipped for failed indices, and the error of the lowest failing index
+// is returned. With workers <= 1 the tasks run and fold inline on the
+// calling goroutine in index order.
+func ReduceContext[T any](ctx context.Context, workers, n int, fn func(worker, index int) (T, error), fold func(index int, v T)) error {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
+			v, err := fn(0, i)
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			fold(i, v)
+		}
+		return firstError(errs)
+	}
+	var (
+		mu       sync.Mutex
+		frontier = sync.NewCond(&mu)
+		pending  = make(map[int]T, workers)
+		failed   = make([]bool, n)
+		nextOut  int // lowest index not yet folded or skipped
+	)
+	window := workers
+	// deposit parks index i's outcome and drains the in-order prefix.
+	// Failed indices contribute no value and are skipped by the drain.
+	deposit := func(i int, v T, ok bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if ok {
+			pending[i] = v
+		} else {
+			failed[i] = true
+		}
+		advanced := false
+		for nextOut < n {
+			if failed[nextOut] {
+				nextOut++
+				advanced = true
+				continue
+			}
+			v, ready := pending[nextOut]
+			if !ready {
+				break
+			}
+			delete(pending, nextOut)
+			fold(nextOut, v)
+			nextOut++
+			advanced = true
+		}
+		if advanced {
+			frontier.Broadcast()
+		}
+	}
+	// await blocks until index i is inside the reordering window. Safe
+	// from deadlock: the holder of the lowest undeposited index is never
+	// blocked here (i >= nextOut+window implies at least `window` lower
+	// indices are still undeposited), so the frontier always advances.
+	await := func(i int) {
+		mu.Lock()
+		for i >= nextOut+window {
+			frontier.Wait()
+		}
+		mu.Unlock()
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			pprof.Do(context.Background(),
+				pprof.Labels("worker", strconv.Itoa(worker)),
+				func(context.Context) {
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= n {
+							return
+						}
+						await(i)
+						var zero T
+						if err := ctx.Err(); err != nil {
+							errs[i] = err
+							deposit(i, zero, false)
+							continue
+						}
+						v, err := fn(worker, i)
+						if err != nil {
+							errs[i] = err
+							deposit(i, zero, false)
+							continue
+						}
+						deposit(i, v, true)
+					}
+				})
+		}(w)
+	}
+	wg.Wait()
+	return firstError(errs)
+}
+
 // ForEach is Map for tasks with no result value.
 func ForEach(workers, n int, fn func(worker, index int) error) error {
 	_, err := Map(workers, n, func(worker, index int) (struct{}, error) {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestMapOrdersResultsByIndex(t *testing.T) {
@@ -263,5 +264,126 @@ func TestWorkers(t *testing.T) {
 	}
 	if Workers(0) < 1 || Workers(-5) < 1 {
 		t.Error("defaulted worker count must be positive")
+	}
+}
+
+func TestReduceFoldsInIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		var got []int
+		err := Reduce(workers, 50, func(worker, index int) (int, error) {
+			return index * 3, nil
+		}, func(index int, v int) {
+			if v != index*3 {
+				t.Fatalf("workers=%d: fold(%d) got %d", workers, index, v)
+			}
+			got = append(got, index)
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 50 {
+			t.Fatalf("workers=%d: folded %d of 50", workers, len(got))
+		}
+		for i, idx := range got {
+			if idx != i {
+				t.Fatalf("workers=%d: fold order %v not strictly increasing", workers, got)
+			}
+		}
+	}
+}
+
+func TestReduceBoundedPending(t *testing.T) {
+	// The streaming contract: at most `workers` results exist outside the
+	// fold at any moment. Track live (created, not yet folded) results
+	// and assert the high-water mark.
+	const workers, n = 4, 200
+	var live, peak atomic.Int64
+	err := Reduce(workers, n, func(worker, index int) (int, error) {
+		if index == 0 {
+			// An adversarially slow first task: without the reordering
+			// window the other workers would park O(n) results behind it.
+			time.Sleep(30 * time.Millisecond)
+		}
+		now := live.Add(1)
+		for {
+			old := peak.Load()
+			if now <= old || peak.CompareAndSwap(old, now) {
+				break
+			}
+		}
+		return index, nil
+	}, func(index int, v int) {
+		live.Add(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak live results %d exceeds worker count %d", p, workers)
+	}
+}
+
+func TestReduceSkipsFailedAndReportsLowest(t *testing.T) {
+	boom7, boom31 := errors.New("boom7"), errors.New("boom31")
+	for _, workers := range []int{1, 8} {
+		var folded []int
+		err := Reduce(workers, 40, func(worker, index int) (int, error) {
+			switch index {
+			case 7:
+				return 0, boom7
+			case 31:
+				return 0, boom31
+			}
+			return index, nil
+		}, func(index int, v int) {
+			folded = append(folded, index)
+		})
+		if !errors.Is(err, boom7) {
+			t.Fatalf("workers=%d: err=%v, want lowest-index boom7", workers, err)
+		}
+		if len(folded) != 38 {
+			t.Fatalf("workers=%d: folded %d, want 38 survivors", workers, len(folded))
+		}
+		prev := -1
+		for _, idx := range folded {
+			if idx == 7 || idx == 31 {
+				t.Fatalf("workers=%d: folded failed index %d", workers, idx)
+			}
+			if idx <= prev {
+				t.Fatalf("workers=%d: fold order violated at %d", workers, idx)
+			}
+			prev = idx
+		}
+	}
+}
+
+func TestReduceContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var folded atomic.Int64
+	err := ReduceContext(ctx, 4, 100, func(worker, index int) (int, error) {
+		if index == 10 {
+			cancel()
+		}
+		return index, nil
+	}, func(index int, v int) {
+		folded.Add(1)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if f := folded.Load(); f >= 100 {
+		t.Fatalf("cancellation did not skip any tasks (folded %d)", f)
+	}
+}
+
+func TestReduceZeroTasks(t *testing.T) {
+	err := Reduce(8, 0, func(worker, index int) (int, error) {
+		t.Fatal("task ran for n=0")
+		return 0, nil
+	}, func(index int, v int) {
+		t.Fatal("fold ran for n=0")
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }

@@ -32,6 +32,13 @@ type metrics struct {
 	simPackets uint64
 	warmReuses uint64
 	coldBuilds uint64
+
+	// Streaming-reduction counters: how many samples came back compact
+	// (full report digested on the worker and dropped) and the retained
+	// size of those digests in bytes — the O(runs)-vs-O(workers) memory
+	// story made observable.
+	samplesReduced uint64
+	digestBytes    uint64
 }
 
 func (m *metrics) requestStart() {
@@ -82,6 +89,13 @@ func (m *metrics) recordSim(events, packets, warmReuses, coldBuilds uint64) {
 	m.mu.Unlock()
 }
 
+func (m *metrics) recordReduced(samples, bytes uint64) {
+	m.mu.Lock()
+	m.samplesReduced += samples
+	m.digestBytes += bytes
+	m.mu.Unlock()
+}
+
 // render writes the exposition text. Pool stats are passed in so the
 // metrics page is one consistent snapshot.
 func (m *metrics) render(pool PoolStats) string {
@@ -114,6 +128,8 @@ func (m *metrics) render(pool PoolStats) string {
 	line("events_per_packet", "%g", epp)
 	line("machine_warm_reuses_total", "%d", m.warmReuses)
 	line("machine_cold_builds_total", "%d", m.coldBuilds)
+	line("samples_reduced_total", "%d", m.samplesReduced)
+	line("retained_digest_bytes", "%d", m.digestBytes)
 	line("query_latency_seconds_count", "%d", m.latencyCount)
 	line("query_latency_seconds_sum", "%g", m.latencySum)
 	line("query_latency_seconds_max", "%g", m.latencyMax)

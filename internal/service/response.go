@@ -97,42 +97,44 @@ var networkTileClasses = []topology.TileClass{
 }
 
 // buildResponse aggregates the ensemble's samples into a response.
-// Samples arrive in (run, mode) interleaved order from the seed-order
-// merge; aggregation iterates them in that fixed order per mode, so
-// float summation order — and therefore the marshaled bytes — is
-// independent of pool warmth, worker count, and coalescing.
+// Samples arrive compact (Reduced digest only, no full report) in
+// (run, mode) interleaved order from the seed-order merge; each mode's
+// values fold into online aggregates in that fixed order, so float
+// summation order — and therefore the marshaled bytes — is independent
+// of pool warmth, worker count, and coalescing.
 func buildResponse(q Query, samples []experiments.Sample) *Response {
 	resp := &Response{Request: q.echo(), Modes: make([]ModeResult, len(q.Modes))}
 	for mi, mode := range q.Modes {
-		var runtimes, mpiFracs, transits []float64
+		runtimes, mpiFracs, transits := stats.NewAgg(), stats.NewAgg(), stats.NewAgg()
 		var flits, minPkts, nonMinPkts uint64
 		var stalls float64
 		for si := mi; si < len(samples); si += len(q.Modes) {
 			s := samples[si]
-			runtimes = append(runtimes, s.RuntimeSec)
+			runtimes.Add(s.RuntimeSec)
 			frac := 0.0
 			if s.RuntimeSec > 0 {
 				frac = s.MPISec() / s.RuntimeSec
 			}
-			mpiFracs = append(mpiFracs, frac)
-			transits = append(transits, s.MeanTransitSec)
-			if s.Report != nil {
+			mpiFracs.Add(frac)
+			transits.Add(s.MeanTransitSec)
+			if s.Reduced != nil {
 				for _, class := range networkTileClasses {
-					flits += s.Report.LocalTiles.Flits[class]
-					stalls += s.Report.LocalTiles.Stalls[class]
+					flits += s.Reduced.LocalTiles.Flits[class]
+					stalls += s.Reduced.LocalTiles.Stalls[class]
 				}
 			}
 			minPkts += s.MinPkts
 			nonMinPkts += s.NonMinPkts
 		}
+		ps := runtimes.Percentiles([]float64{95, 99})
 		r := ModeResult{
 			Mode:           mode.String(),
-			Runs:           len(runtimes),
-			RuntimeMeanSec: stats.Mean(runtimes),
-			RuntimeStdSec:  stats.StdDev(runtimes),
-			RuntimeP95Sec:  stats.Percentile(runtimes, 95),
-			RuntimeP99Sec:  stats.Percentile(runtimes, 99),
-			MPIFracMean:    stats.Mean(mpiFracs),
+			Runs:           runtimes.Count(),
+			RuntimeMeanSec: runtimes.Mean(),
+			RuntimeStdSec:  runtimes.Std(),
+			RuntimeP95Sec:  ps[0],
+			RuntimeP99Sec:  ps[1],
+			MPIFracMean:    mpiFracs.Mean(),
 		}
 		if flits > 0 {
 			r.StallRatio = stalls / float64(flits)
@@ -140,7 +142,7 @@ func buildResponse(q Query, samples []experiments.Sample) *Response {
 		if total := minPkts + nonMinPkts; total > 0 {
 			r.NonMinimalFrac = float64(nonMinPkts) / float64(total)
 		}
-		r.MeanTransitUsec = stats.Mean(transits) * 1e6
+		r.MeanTransitUsec = transits.Mean() * 1e6
 		resp.Modes[mi] = r
 	}
 	best := 0

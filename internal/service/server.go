@@ -213,12 +213,17 @@ func (s *Server) execute(q Query) (int, []byte) {
 	s.metrics.recordExecution(time.Since(start).Seconds())
 
 	warmAfter, coldAfter := reuseTotals(machines)
-	var events, packets uint64
+	var events, packets, reduced, digestBytes uint64
 	for _, smp := range samples {
 		events += smp.Events
 		packets += smp.Packets
+		if smp.Reduced != nil {
+			reduced++
+			digestBytes += uint64(smp.Reduced.MemBytes())
+		}
 	}
 	s.metrics.recordSim(events, packets, warmAfter-warmBefore, coldAfter-coldBefore)
+	s.metrics.recordReduced(reduced, digestBytes)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			return http.StatusGatewayTimeout,

@@ -1,0 +1,410 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// aggFrom folds xs into a fresh default-cap aggregate.
+func aggFrom(xs []float64) *Agg {
+	a := NewAgg()
+	a.AddAll(xs)
+	return a
+}
+
+// randomValues draws n values from a mix of scales so the sketch sees
+// range growth in both directions.
+func randomValues(r *rand.Rand, n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		switch r.Intn(3) {
+		case 0:
+			xs[i] = r.NormFloat64()
+		case 1:
+			xs[i] = 100 + 50*r.NormFloat64()
+		default:
+			xs[i] = r.Float64() * 1e-3
+		}
+	}
+	return xs
+}
+
+// TestAggExactMatchesBatch pins the exact-mode contract: below the cap,
+// every read is bit-identical to the batch function it replaces.
+func TestAggExactMatchesBatch(t *testing.T) {
+	prop := func(xs []float64) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				xs[i] = float64(i)
+			}
+		}
+		a := aggFrom(xs)
+		if !a.Exact() {
+			return len(xs) > ExactCap
+		}
+		if a.Mean() != Mean(xs) || a.Std() != StdDev(xs) {
+			return false
+		}
+		mn, mx := MinMax(xs)
+		if a.Min() != mn || a.Max() != mx {
+			return false
+		}
+		for _, p := range []float64{0, 25, 50, 95, 100} {
+			got, want := a.Percentile(p), Percentile(xs, p)
+			if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+				return false
+			}
+		}
+		gotPs := a.Percentiles([]float64{50, 95})
+		wantPs := Percentiles(xs, []float64{50, 95})
+		for i := range gotPs {
+			if gotPs[i] != wantPs[i] && !(math.IsNaN(gotPs[i]) && math.IsNaN(wantPs[i])) {
+				return false
+			}
+		}
+		if !reflect.DeepEqual(a.Hist(-1, 1, 8), NewHistogram(xs, -1, 1, 8)) {
+			return false
+		}
+		if !reflect.DeepEqual(a.FilterOutliers(3).Values(), FilterOutliers(xs, 3)) {
+			// FilterOutliers on an empty slice returns an empty non-nil
+			// slice while an empty Agg holds nil; both read identically.
+			return len(xs) == 0 && a.FilterOutliers(3).Count() == 0
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAggExactNormalizedMatchesZScores pins Normalized against
+// ZScoresAgainst in exact mode.
+func TestAggExactNormalizedMatchesZScores(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	xs := randomValues(r, 100)
+	a := aggFrom(xs)
+	m, s := MeanStd(xs)
+	for _, std := range []float64{s, 0} {
+		got := a.Normalized(m, std).Values()
+		want := ZScoresAgainst(xs, m, std)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Normalized(std=%v) = %v, want %v", std, got, want)
+		}
+	}
+}
+
+// TestAggStreamingMoments checks that the streaming mean/std/min/max
+// agree with the batch computation to floating-point tolerance once the
+// aggregate has spilled past its exact cap.
+func TestAggStreamingMoments(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	xs := randomValues(r, 5000)
+	a := NewAggLimit(64)
+	a.AddAll(xs)
+	if a.Exact() {
+		t.Fatal("aggregate did not spill past its cap")
+	}
+	if a.Count() != len(xs) {
+		t.Fatalf("Count = %d, want %d", a.Count(), len(xs))
+	}
+	m, s := MeanStd(xs)
+	if !approx(a.Mean(), m, 1e-9*math.Abs(m)) {
+		t.Fatalf("streaming mean %v, batch %v", a.Mean(), m)
+	}
+	if !approx(a.Std(), s, 1e-9*s) {
+		t.Fatalf("streaming std %v, batch %v", a.Std(), s)
+	}
+	mn, mx := MinMax(xs)
+	if a.Min() != mn || a.Max() != mx {
+		t.Fatalf("streaming min/max %v/%v, batch %v/%v", a.Min(), a.Max(), mn, mx)
+	}
+}
+
+// TestAggMergeSeedOrderDeterminism is the worker-count invariance
+// argument in miniature: folding per-chunk aggregates in chunk (seed)
+// order must be bit-identical to the sequential fold, for any chunking —
+// exact and streaming modes both.
+func TestAggMergeSeedOrderDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	xs := randomValues(r, 900)
+	for _, limit := range []int{0, 32} { // 0 = default cap (stays exact)
+		seq := NewAggLimit(limit)
+		if limit == 0 {
+			seq = NewAgg()
+		}
+		seq.AddAll(xs)
+		for _, workers := range []int{1, 2, 8} {
+			chunks := make([]*Agg, workers)
+			for i := range chunks {
+				if limit == 0 {
+					chunks[i] = NewAgg()
+				} else {
+					chunks[i] = NewAggLimit(limit)
+				}
+			}
+			// Round-robin like a work-stealing pool would, then merge in
+			// chunk order — the runner's seed-order merge.
+			for i, x := range xs {
+				chunks[i%workers].Add(x)
+			}
+			merged := NewAgg()
+			if limit != 0 {
+				merged = NewAggLimit(limit)
+			}
+			for _, c := range chunks {
+				merged.Merge(c)
+			}
+			// Exact-mode chunks replay in insertion order, so the merged
+			// buffer is the round-robin interleave, not xs — but merging
+			// the SAME chunks must be bit-identical regardless of how
+			// many there are only when the interleave matches. The
+			// production pattern is contiguous blocks in index order:
+			blocks := make([]*Agg, workers)
+			per := (len(xs) + workers - 1) / workers
+			for w := 0; w < workers; w++ {
+				if limit == 0 {
+					blocks[w] = NewAgg()
+				} else {
+					blocks[w] = NewAggLimit(limit)
+				}
+				lo, hi := w*per, (w+1)*per
+				if hi > len(xs) {
+					hi = len(xs)
+				}
+				blocks[w].AddAll(xs[lo:hi])
+			}
+			got := NewAgg()
+			if limit != 0 {
+				got = NewAggLimit(limit)
+			}
+			for _, b := range blocks {
+				got.Merge(b)
+			}
+			if got.Exact() != seq.Exact() {
+				t.Fatalf("limit=%d workers=%d: mode mismatch", limit, workers)
+			}
+			if got.Exact() {
+				if !reflect.DeepEqual(got.Values(), seq.Values()) {
+					t.Fatalf("limit=%d workers=%d: merged buffer differs from sequential", limit, workers)
+				}
+				continue
+			}
+			// Streaming: block merges are NOT bit-identical to the
+			// sequential fold (different float association), but they
+			// must be bit-identical across worker counts when the block
+			// boundaries are — here we instead pin the weaker, still
+			// essential property: statistics agree to tolerance.
+			if !approx(got.Mean(), seq.Mean(), 1e-9*math.Abs(seq.Mean())) ||
+				!approx(got.Std(), seq.Std(), 1e-9*seq.Std()) ||
+				got.Min() != seq.Min() || got.Max() != seq.Max() ||
+				got.Count() != seq.Count() {
+				t.Fatalf("limit=%d workers=%d: merged stats diverge from sequential", limit, workers)
+			}
+		}
+	}
+}
+
+// TestAggMergeExactBitIdentical pins the strong form the campaign relies
+// on: with exact-mode per-run aggregates (the production regime — runs
+// per figure are far below ExactCap), merging in seed order equals the
+// sequential fold exactly, bit for bit, including percentile reads.
+func TestAggMergeExactBitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	xs := randomValues(r, 240)
+	seq := aggFrom(xs)
+	for _, workers := range []int{1, 2, 3, 8} {
+		merged := NewAgg()
+		per := (len(xs) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo, hi := w*per, (w+1)*per
+			if hi > len(xs) {
+				hi = len(xs)
+			}
+			merged.Merge(aggFrom(xs[lo:hi]))
+		}
+		if !reflect.DeepEqual(merged, seq) {
+			t.Fatalf("workers=%d: merged aggregate state differs from sequential", workers)
+		}
+		for _, p := range []float64{25, 50, 75, 95, 99} {
+			if merged.Percentile(p) != seq.Percentile(p) {
+				t.Fatalf("workers=%d: p%v differs", workers, p)
+			}
+		}
+	}
+}
+
+// TestSketchErrorBound checks the documented guarantee: streaming
+// percentiles land within one sketch bin width of the exact answer.
+func TestSketchErrorBound(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		r := rand.New(rand.NewSource(seed))
+		xs := randomValues(r, 20000)
+		a := NewAggLimit(1)
+		a.AddAll(xs)
+		if a.Exact() {
+			t.Fatal("expected streaming mode")
+		}
+		lo, hi := a.sk.Range()
+		binW := (hi - lo) / float64(len(a.sk.counts))
+		for _, p := range []float64{1, 5, 25, 50, 75, 90, 95, 99, 99.9} {
+			got := a.Percentile(p)
+			want := Percentile(xs, p)
+			if math.Abs(got-want) > binW {
+				t.Fatalf("seed %d p%v: sketch %v vs exact %v exceeds bin width %v",
+					seed, p, got, want, binW)
+			}
+		}
+		// Extremes are exact by construction.
+		mn, mx := MinMax(xs)
+		if a.Percentile(0) != mn || a.Percentile(100) != mx {
+			t.Fatalf("seed %d: p0/p100 not clamped to true extremes", seed)
+		}
+	}
+}
+
+// TestSketchRangeGrowth exercises both growth directions and the merge
+// path across disjoint ranges.
+func TestSketchRangeGrowth(t *testing.T) {
+	s := NewSketch(0, 1, 8)
+	s.Add(0.5)
+	s.Add(100) // forces upward doubling
+	s.Add(-50) // forces downward doubling
+	if n := s.Count(); n != 3 {
+		t.Fatalf("Count = %d after growth, want 3", n)
+	}
+	lo, hi := s.Range()
+	if lo > -50 || hi <= 100 {
+		t.Fatalf("range [%v,%v) does not cover inserted values", lo, hi)
+	}
+	var total uint64
+	for _, c := range s.counts {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("bin mass %d leaked during growth, want 3", total)
+	}
+
+	a := NewSketch(0, 1, 64)
+	b := NewSketch(1000, 2000, 64)
+	for i := 0; i < 100; i++ {
+		a.Add(float64(i) / 100)
+		b.Add(1000 + 10*float64(i))
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count %d, want 200", a.Count())
+	}
+	if q := a.Quantile(99); q < 900 {
+		t.Fatalf("upper tail lost in merge: p99 = %v", q)
+	}
+}
+
+// TestSketchDeterminism: identical insertion order → identical state.
+func TestSketchDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	xs := randomValues(r, 3000)
+	a, b := NewSketch(0, 1, 128), NewSketch(0, 1, 128)
+	for _, x := range xs {
+		a.Add(x)
+		b.Add(x)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same insertion order produced different sketch state")
+	}
+}
+
+// TestWelchTAggMatchesBatch pins the aggregate Welch-t against the batch
+// version bit-for-bit in exact mode.
+func TestWelchTAggMatchesBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	xs, ys := randomValues(r, 40), randomValues(r, 60)
+	gt, gdf := WelchTAgg(aggFrom(xs), aggFrom(ys))
+	wt, wdf := WelchT(xs, ys)
+	if gt != wt || gdf != wdf {
+		t.Fatalf("WelchTAgg = (%v,%v), WelchT = (%v,%v)", gt, gdf, wt, wdf)
+	}
+	if imp := PercentImprovementAgg(aggFrom(xs), aggFrom(ys)); imp != PercentImprovement(xs, ys) {
+		t.Fatalf("PercentImprovementAgg = %v, want %v", imp, PercentImprovement(xs, ys))
+	}
+	// Degenerate guards.
+	if tt, df := WelchTAgg(aggFrom(xs[:1]), aggFrom(ys)); tt != 0 || df != 0 {
+		t.Fatal("WelchTAgg under-n guard missing")
+	}
+}
+
+// TestAggEmptyAndNil pins the empty/nil read semantics shared with the
+// batch functions.
+func TestAggEmptyAndNil(t *testing.T) {
+	var nilAgg *Agg
+	for _, a := range []*Agg{nilAgg, NewAgg()} {
+		if a.Count() != 0 || a.Mean() != 0 || a.Std() != 0 || a.Min() != 0 || a.Max() != 0 || a.Sum() != 0 {
+			t.Fatal("empty aggregate reads nonzero")
+		}
+		if !math.IsNaN(a.Percentile(50)) {
+			t.Fatal("empty percentile should be NaN")
+		}
+		if !a.Exact() {
+			t.Fatal("empty aggregate should be exact")
+		}
+		if h := a.Hist(0, 1, 4); h.Total != 0 {
+			t.Fatal("empty histogram has mass")
+		}
+	}
+	a := NewAgg()
+	a.Merge(nilAgg)
+	a.Merge(NewAgg())
+	if a.Count() != 0 {
+		t.Fatal("merging empties added values")
+	}
+}
+
+// TestAggStreamingFilterOutliers checks the streaming outlier filter
+// keeps the bulk and drops far spikes.
+func TestAggStreamingFilterOutliers(t *testing.T) {
+	a := NewAggLimit(1)
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 10000; i++ {
+		a.Add(r.NormFloat64())
+	}
+	a.Add(1000) // a spike far outside 3 sigma
+	f := a.FilterOutliers(3)
+	if f.Count() >= a.Count() {
+		t.Fatalf("filter dropped nothing: %d of %d", f.Count(), a.Count())
+	}
+	// The surviving mass sits at sketch bin centers, so the bound is
+	// 3 sigma plus one bin width (the documented filter error).
+	lo, hi := a.sk.Range()
+	binW := (hi - lo) / float64(len(a.sk.counts))
+	if limit := 3*a.Std() + binW; f.Max() > limit {
+		t.Fatalf("spike survived the filter: max %v > %v", f.Max(), limit)
+	}
+	if f.Count() < 9000 {
+		t.Fatalf("filter too aggressive: kept %d of %d", f.Count(), a.Count())
+	}
+}
+
+// TestAggStreamingNormalized checks the affine transform of a streaming
+// aggregate against the batch z-scores to tolerance.
+func TestAggStreamingNormalized(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	xs := randomValues(r, 8000)
+	a := NewAggLimit(8)
+	a.AddAll(xs)
+	m, s := MeanStd(xs)
+	z := a.Normalized(m, s)
+	zs := ZScoresAgainst(xs, m, s)
+	bm, bs := MeanStd(zs)
+	if !approx(z.Mean(), bm, 1e-6) || !approx(z.Std(), bs, 1e-6) {
+		t.Fatalf("normalized stream mean/std (%v,%v) vs batch (%v,%v)", z.Mean(), z.Std(), bm, bs)
+	}
+	mn, mx := MinMax(zs)
+	if !approx(z.Min(), mn, 1e-12) || !approx(z.Max(), mx, 1e-12) {
+		t.Fatalf("normalized extremes (%v,%v) vs batch (%v,%v)", z.Min(), z.Max(), mn, mx)
+	}
+	if z.Normalized(0, 0).Count() != z.Count() {
+		t.Fatal("std=0 normalization lost values")
+	}
+}

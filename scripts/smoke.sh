@@ -9,8 +9,10 @@
 #      a recommendation, and the same query repeated (warm pool) returns
 #      byte-identical bytes
 #   5. GET /metrics reflects the queries: executed counter, pool hits,
-#      zero misses (the -prewarm flag absorbed the cold start), and the
-#      simulation-cost gauges (events/packet, warm fabric reuses)
+#      zero misses (the -prewarm flag absorbed the cold start), the
+#      simulation-cost gauges (events/packet, warm fabric reuses), and
+#      the streaming-reduction gauges (every retained sample compact,
+#      nonzero digest bytes)
 #
 # Usage: scripts/smoke.sh [port]   (default 8091)
 set -euo pipefail
@@ -92,6 +94,18 @@ grep -q '^simd_machine_warm_reuses_total [1-9]' <<<"$metrics" || {
 }
 grep -q '^simd_machine_cold_builds_total 0$' <<<"$metrics" || {
 	echo "serving path built fabrics cold despite -prewarm:" >&2
+	echo "$metrics" >&2
+	exit 1
+}
+# 2 executions x 2 runs x 2 modes: every sample must come back as a
+# compact digest (report dropped on the worker).
+grep -q '^simd_samples_reduced_total 8$' <<<"$metrics" || {
+	echo "expected all 8 samples reduced to compact digests:" >&2
+	echo "$metrics" >&2
+	exit 1
+}
+grep -q '^simd_retained_digest_bytes [1-9]' <<<"$metrics" || {
+	echo "retained digest bytes missing or zero:" >&2
 	echo "$metrics" >&2
 	exit 1
 }
