@@ -1,18 +1,29 @@
 // Command simlint runs the repository's custom static-analysis suite
-// (detrand, resetcheck, hotpath — see DESIGN.md "Static invariants")
-// over the module, mirroring a x/tools multichecker:
+// (detrand, resetcheck, hotpath, hotcall, detflow, sharecheck — see
+// DESIGN.md "Static invariants") over the module, mirroring a x/tools
+// multichecker:
 //
 //	go run ./cmd/simlint ./...
 //
-// It prints one line per finding and exits nonzero when any survive
-// their //simlint:allow / //simlint:resetsafe suppressions. CI treats a
-// nonzero exit as a build failure, which is the point: the invariants
-// these analyzers enforce (explicit RNG streams, complete Reset
-// coverage, allocation-free hot paths) fail silently at runtime but
-// loudly here.
+// Unlike a per-package checker, simlint loads every requested package
+// (plus its module-internal dependencies) into one driver run, builds
+// the static call graph across them, and lets analyzers exchange
+// per-function facts — the interprocedural checks (transitive hot-path
+// allocation, output-order taint, worker isolation) need the whole
+// module in view.
+//
+// It prints one line per finding — or one JSON object per line with
+// -json, for CI to turn into per-file annotations — and exits nonzero
+// when any survive their //simlint:allow / //simlint:resetsafe /
+// //simlint:cold suppressions. CI treats a nonzero exit as a build
+// failure, which is the point: the invariants these analyzers enforce
+// (explicit RNG streams, complete Reset coverage, allocation-free hot
+// paths, deterministic output rendering, per-worker machine ownership)
+// fail silently at runtime but loudly here.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,8 +37,9 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the suite's analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON, one object per line")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: simlint [packages]\n\npatterns: ./... style walks, or package directories\n")
+		fmt.Fprintf(os.Stderr, "usage: simlint [-json] [packages]\n\npatterns: ./... style walks, or package directories\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -54,44 +66,49 @@ func main() {
 		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
 		os.Exit(2)
 	}
-
-	loader := analysis.NewLoader(modDir, modPath)
-	exit := 0
-	var diags []analysis.Diagnostic
+	roots := make([]string, 0, len(dirs))
 	for _, dir := range dirs {
 		importPath, err := dirImportPath(modDir, modPath, dir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
-			exit = 2
-			continue
+			os.Exit(2)
 		}
-		pkg, err := loader.Load(importPath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
-			exit = 2
-			continue
-		}
-		ds, err := analysis.Run(pkg, analyzers.All)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
-			exit = 2
-			continue
-		}
-		diags = append(diags, ds...)
+		roots = append(roots, importPath)
+	}
+
+	mod, err := analysis.LoadModule(modDir, modPath, roots)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := mod.Run(analyzers.All)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		os.Exit(2)
 	}
 
 	cwd, _ := os.Getwd()
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
 		name := d.Pos.Filename
 		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
 			name = rel
 		}
+		if *jsonOut {
+			enc.Encode(struct {
+				File     string `json:"file"`
+				Line     int    `json:"line"`
+				Column   int    `json:"column"`
+				Analyzer string `json:"analyzer"`
+				Message  string `json:"message"`
+			}{name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+			continue
+		}
 		fmt.Printf("%s:%d:%d: %s (%s)\n", name, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
 	}
-	if len(diags) > 0 && exit == 0 {
-		exit = 1
+	if len(diags) > 0 {
+		os.Exit(1)
 	}
-	os.Exit(exit)
 }
 
 // findModule walks up from dir to the enclosing go.mod, returning the

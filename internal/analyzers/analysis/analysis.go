@@ -35,8 +35,18 @@ type Analyzer struct {
 	// Doc is a one-paragraph description of what the analyzer enforces.
 	Doc string
 	// Run applies the analyzer to one package, reporting findings
-	// through pass.Reportf.
+	// through pass.Reportf. Under the module driver, packages are
+	// visited in dependency order, so facts exported on an imported
+	// package's objects are visible here.
 	Run func(*Pass) error
+	// RunModule, if set, runs once after every package pass with the
+	// whole module — full package list, call graph, fact store — for
+	// analyses whose scope cannot be expressed package-by-package
+	// (reverse reachability from sinks, cross-package sharing).
+	RunModule func(*ModulePass) error
+	// FactTypes declares every Fact type the analyzer exports or
+	// imports, mirroring x/tools; using an undeclared type panics.
+	FactTypes []Fact
 }
 
 // Pass carries one (analyzer, package) unit of work, mirroring
@@ -47,9 +57,44 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Module is the driver run this pass belongs to (call graph,
+	// sibling packages). Nil when the pass runs outside a module
+	// driver.
+	Module *Module
 
 	diags    *[]Diagnostic
 	suppress suppressions
+}
+
+// ExportObjectFact attaches fact to obj for importing packages'
+// passes (and module passes) to consume.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	p.Module.facts.exportObject(p.Analyzer, obj, fact)
+}
+
+// ImportObjectFact copies the fact of ptr's concrete type previously
+// exported on obj into *ptr, reporting whether one existed.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	return p.Module.facts.importObject(p.Analyzer, obj, ptr)
+}
+
+// ExportPackageFact attaches fact to the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	p.Module.facts.exportPackage(p.Analyzer, p.Pkg, fact)
+}
+
+// ImportPackageFact copies pkg's fact of ptr's concrete type into *ptr.
+func (p *Pass) ImportPackageFact(pkg *types.Package, ptr Fact) bool {
+	return p.Module.facts.importPackage(p.Analyzer, pkg, ptr)
+}
+
+// ObjectFact and PackageFact are available on module passes too.
+func (p *ModulePass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	return p.Module.facts.importObject(p.Analyzer, obj, ptr)
+}
+
+func (p *ModulePass) ImportPackageFact(pkg *types.Package, ptr Fact) bool {
+	return p.Module.facts.importPackage(p.Analyzer, pkg, ptr)
 }
 
 // Diagnostic is one finding at one position.
@@ -116,25 +161,9 @@ func (s suppressions) allows(analyzer string, pos token.Position) bool {
 	return false
 }
 
-// Run applies every analyzer to pkg and returns the surviving
-// diagnostics sorted by position.
-func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	sup := collectSuppressions(pkg.Fset, pkg.Files)
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.Info,
-			diags:     &diags,
-			suppress:  sup,
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
-		}
-	}
+// sortDiagnostics orders findings by position then message, the
+// driver's stable reporting order.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -148,7 +177,6 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Message < b.Message
 	})
-	return diags, nil
 }
 
 // HasDirective reports whether a comment group contains the given

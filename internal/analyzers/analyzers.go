@@ -1,19 +1,30 @@
 // Package analyzers assembles the simlint suite: the custom static
-// checks that turn this repository's determinism, reset-coverage, and
-// hot-path conventions into build-time errors. See DESIGN.md, "Static
-// invariants", for each analyzer's contract and annotation grammar.
+// checks that turn this repository's determinism, reset-coverage,
+// hot-path, and worker-isolation conventions into build-time errors.
+// See DESIGN.md, "Static invariants", for each analyzer's contract and
+// annotation grammar.
 package analyzers
 
 import (
 	"repro/internal/analyzers/analysis"
+	"repro/internal/analyzers/detflow"
 	"repro/internal/analyzers/detrand"
+	"repro/internal/analyzers/hotcall"
 	"repro/internal/analyzers/hotpath"
 	"repro/internal/analyzers/resetcheck"
+	"repro/internal/analyzers/sharecheck"
 )
 
-// All is the suite cmd/simlint runs, in reporting order.
+// All is the suite cmd/simlint runs, in reporting order. The first
+// three are per-package passes from simlint v1; hotcall and sharecheck
+// are the v2 interprocedural passes over the module call graph and
+// facts store, and detflow is a module pass whose sink-reachability
+// replaces detrand's hardcoded scope on the output side.
 var All = []*analysis.Analyzer{
 	detrand.Analyzer,
 	resetcheck.Analyzer,
 	hotpath.Analyzer,
+	hotcall.Analyzer,
+	detflow.Analyzer,
+	sharecheck.Analyzer,
 }

@@ -36,25 +36,29 @@ type expectation struct {
 }
 
 // Run loads testdata/src/<pkgpath> (testdata relative to the calling
-// test's directory), applies the analyzers, and checks the diagnostics
-// against the fixture's want comments.
+// test's directory) through the module driver — fixture-internal
+// imports are loaded, analyzed, and call-graphed too — applies the
+// analyzers, and checks the diagnostics against the want comments of
+// every loaded fixture package.
 func Run(t *testing.T, testdata, pkgpath string, analyzers ...*analysis.Analyzer) {
 	t.Helper()
 	srcRoot, err := filepath.Abs(filepath.Join(testdata, "src"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	loader := analysis.NewLoader(srcRoot, "")
-	pkg, err := loader.Load(pkgpath)
+	mod, err := analysis.LoadModule(srcRoot, "", []string{pkgpath})
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", pkgpath, err)
 	}
-	diags, err := analysis.Run(pkg, analyzers)
+	diags, err := mod.Run(analyzers)
 	if err != nil {
 		t.Fatalf("running analyzers on %s: %v", pkgpath, err)
 	}
 
-	expects := collectWants(t, pkg.Dir)
+	var expects []*expectation
+	for _, pkg := range mod.Pkgs {
+		expects = append(expects, collectWants(t, pkg.Dir)...)
+	}
 	for _, d := range diags {
 		if !match(expects, d) {
 			t.Errorf("unexpected diagnostic: %s", d)

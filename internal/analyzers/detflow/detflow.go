@@ -1,0 +1,364 @@
+// Package detflow implements the simlint output-order taint analyzer.
+//
+// The service's headline contract is byte-identical rendered artifacts
+// — figure and table text, HTTP response bodies, /metrics exposition —
+// for a given input, across worker counts, pool warmth, and process
+// restarts. Map iteration order is the classic way that contract rots:
+// a map-range three calls below a table writer reorders rows per run,
+// and no per-package lint scope catches it, because the iteration and
+// the writer live in different packages.
+//
+// detrand polices map iteration inside the hardcoded simulation-state
+// scope (detrand.Scope). detflow replaces that hardcoding for the
+// OUTPUT side with reachability computed from the module call graph:
+//
+//  1. Sink roots are the functions that render output — structurally,
+//     any module function with an io.Writer, http.ResponseWriter,
+//     *bytes.Buffer, or *strings.Builder parameter, plus the explicit
+//     value-returning renderers in ExtraSinks.
+//  2. Every function statically reachable from a sink root can execute
+//     during rendering; a nondeterministic iteration there can reach
+//     output bytes.
+//  3. In each reachable function (outside detrand's scope, which is
+//     already policed), flag: ranging over a map, and unsorted
+//     maps.Keys / maps.Values / maps.All reads.
+//
+// The sorted-keys idiom stays silent without annotation: a range whose
+// body only collects keys into a slice that the function later sorts,
+// and maps.Keys/Values/All wrapped directly in slices.Sorted*. Anything
+// else order-insensitive is suppressed site by site with
+// //simlint:allow detflow <reason>.
+//
+// Soundness caveat: reachability follows static edges only — dynamic
+// dispatch through interfaces or func values contributes nothing, so a
+// renderer invoked only through an interface needs its own writer-ish
+// parameter (it then roots its own reachability) or an ExtraSinks
+// entry.
+package detflow
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analyzers/analysis"
+	"repro/internal/analyzers/detrand"
+)
+
+// Analyzer is the detflow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detflow",
+	Doc: "map iteration order must not reach rendered output: flag map ranges " +
+		"and unsorted map-key reads in functions reachable from output sinks",
+	RunModule: runModule,
+}
+
+// WriterTypes are the parameter types that make a function a sink root:
+// storage that rendered bytes flow into.
+var WriterTypes = map[string]bool{
+	"io.Writer":               true,
+	"net/http.ResponseWriter": true,
+	"*bytes.Buffer":           true,
+	"*strings.Builder":        true,
+}
+
+// ExtraSinks names value-returning renderers the structural rule cannot
+// see (they build output without taking a writer). Entries are
+// module-relative: "pkg/path.Func" for functions, "pkg/path.Recv.Func"
+// for methods.
+var ExtraSinks = []string{
+	"internal/service.buildResponse",
+	"internal/service.marshalResponse",
+	"internal/service.metrics.render",
+	"internal/service.errorBody",
+	// viz renders into local strings.Builders and returns the text, so
+	// the structural writer-parameter rule never sees it.
+	"internal/viz.Sparkline",
+	"internal/viz.HeatStrip",
+	"internal/viz.GroupHeatmap",
+	"internal/viz.Histogram",
+}
+
+// SinkRoots returns the module's output sink roots, sorted by position
+// for deterministic traversal and witness attribution.
+func SinkRoots(m *analysis.Module) []*types.Func {
+	var roots []*types.Func
+	for fn, fd := range m.Graph.Decls {
+		if fd.Body == nil {
+			continue
+		}
+		if isStructuralSink(fn) || isExtraSink(m, fn) {
+			roots = append(roots, fn)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Pos() < roots[j].Pos() })
+	return roots
+}
+
+// isStructuralSink reports whether fn has a writer-ish parameter.
+func isStructuralSink(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if WriterTypes[params.At(i).Type().String()] {
+			return true
+		}
+	}
+	return false
+}
+
+// isExtraSink matches fn against ExtraSinks by module-relative name.
+func isExtraSink(m *analysis.Module, fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	rel := moduleRel(m, fn.Pkg().Path())
+	name := rel + "." + fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if named := receiverName(sig.Recv().Type()); named != "" {
+			name = rel + "." + named + "." + fn.Name()
+		}
+	}
+	for _, s := range ExtraSinks {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+func receiverName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+func moduleRel(m *analysis.Module, pkgPath string) string {
+	if m.Loader.ModulePath != "" {
+		if rest, ok := strings.CutPrefix(pkgPath, m.Loader.ModulePath+"/"); ok {
+			return rest
+		}
+	}
+	return pkgPath
+}
+
+// Reach computes every function statically reachable from the module's
+// sink roots, with the (position-first) witness root that reached it.
+func Reach(m *analysis.Module) map[*types.Func]*types.Func {
+	witness := map[*types.Func]*types.Func{}
+	for _, root := range SinkRoots(m) {
+		if _, seen := witness[root]; seen {
+			continue
+		}
+		stack := []*types.Func{root}
+		for len(stack) > 0 {
+			fn := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if _, seen := witness[fn]; seen {
+				continue
+			}
+			witness[fn] = root
+			for _, site := range m.Graph.Sites[fn] {
+				if site.Callee == nil {
+					continue
+				}
+				if _, seen := witness[site.Callee]; !seen && m.Graph.Decls[site.Callee] != nil {
+					stack = append(stack, site.Callee)
+				}
+			}
+		}
+	}
+	return witness
+}
+
+// ReachablePackages returns the sorted module-relative paths of every
+// package holding a sink-reachable function — the computed counterpart
+// of detrand's hand-maintained Scope, which the scope-drift test keeps
+// consistent.
+func ReachablePackages(m *analysis.Module) []string {
+	seen := map[string]bool{}
+	for fn := range Reach(m) {
+		if fn.Pkg() != nil {
+			seen[moduleRel(m, fn.Pkg().Path())] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func runModule(pass *analysis.ModulePass) error {
+	m := pass.Module
+	for fn, root := range Reach(m) {
+		if fn.Pkg() != nil && detrand.InScope(fn.Pkg().Path()) {
+			continue // detrand already polices map iteration here
+		}
+		fd := m.Graph.Decls[fn]
+		if fd == nil || fd.Body == nil {
+			continue
+		}
+		pkg := m.Graph.PkgOf[fn]
+		if pkg == nil {
+			continue
+		}
+		checkFunc(pass, pkg, fd, root)
+	}
+	return nil
+}
+
+// checkFunc applies the two iteration-order rules to one reachable
+// function.
+func checkFunc(pass *analysis.ModulePass, pkg *analysis.Package, fd *ast.FuncDecl, root *types.Func) {
+	info := pkg.Info
+	analysis.WithParents(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.RangeStmt:
+			t := info.Types[x.X].Type
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sortedKeysIdiom(info, x, fd) {
+				return true
+			}
+			pass.Reportf(x.Pos(),
+				"map iteration order can reach rendered output (reachable from %s); iterate sorted keys or annotate an order-insensitive reduction",
+				root.Name())
+		case *ast.CallExpr:
+			if !isMapsOrderRead(info, x) {
+				return true
+			}
+			if wrappedInSortedCollect(info, stack) {
+				return true
+			}
+			pass.Reportf(x.Pos(),
+				"unsorted map-key read can reach rendered output (reachable from %s); wrap in slices.Sorted or annotate an order-insensitive use",
+				root.Name())
+		}
+		return true
+	})
+}
+
+// sortedKeysIdiom recognizes the canonical deterministic pattern: the
+// range body does nothing but append the key to a slice, and the
+// function later passes that slice to a sort call — order randomness
+// dies in the sort.
+func sortedKeysIdiom(info *types.Info, rng *ast.RangeStmt, fd *ast.FuncDecl) bool {
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || rng.Value != nil || len(rng.Body.List) != 1 {
+		return false
+	}
+	assign, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	lhs := analysis.RootIdent(assign.Lhs[0])
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || lhs == nil {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) != 2 {
+		return false
+	}
+	dst := analysis.RootIdent(call.Args[0])
+	src, okSrc := ast.Unparen(call.Args[1]).(*ast.Ident)
+	if dst == nil || !okSrc {
+		return false
+	}
+	keyObj := analysis.ObjectOf(info, key)
+	if keyObj == nil || analysis.ObjectOf(info, src) != keyObj {
+		return false
+	}
+	slice := analysis.ObjectOf(info, lhs)
+	if slice == nil || analysis.ObjectOf(info, dst) != slice {
+		return false
+	}
+	// The collected slice must be sorted somewhere in this function.
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || sorted {
+			return !sorted
+		}
+		if !isSortCall(info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if root := analysis.RootIdent(arg); root != nil && analysis.ObjectOf(info, root) == slice {
+				sorted = true
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+// isSortCall matches package-level sort.* and slices.Sort* calls.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		return true
+	case "slices":
+		return strings.HasPrefix(fn.Name(), "Sort")
+	}
+	return false
+}
+
+// isMapsOrderRead matches maps.Keys / maps.Values / maps.All, whose
+// iteration order is randomized like a direct range.
+func isMapsOrderRead(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "maps" {
+		return false
+	}
+	switch fn.Name() {
+	case "Keys", "Values", "All":
+		return true
+	}
+	return false
+}
+
+// wrappedInSortedCollect reports whether the call's immediate consumer
+// is slices.Sorted / slices.SortedFunc / slices.SortedStableFunc.
+func wrappedInSortedCollect(info *types.Info, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	outer, ok := stack[len(stack)-1].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(outer.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "slices" &&
+		strings.HasPrefix(fn.Name(), "Sorted")
+}

@@ -1,0 +1,12 @@
+package detflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/atest"
+	"repro/internal/analyzers/detflow"
+)
+
+func TestDetflow(t *testing.T) {
+	atest.Run(t, "testdata", "detflowpkg", detflow.Analyzer)
+}

@@ -65,6 +65,15 @@ var randConstructors = map[string]bool{
 	"NewChaCha8": true,
 }
 
+// InScope reports whether pkgPath is one of the packages detrand's
+// determinism rules apply to. Exported so detflow can avoid
+// double-reporting map iteration in packages this analyzer already
+// covers, and so the scope-drift test can compare the hand-maintained
+// list against computed sink reachability.
+func InScope(pkgPath string) bool {
+	return inScope(pkgPath, Scope)
+}
+
 // inScope reports whether the package path falls under any entry of
 // Scope (entries are matched as whole path segments, with or without
 // the module-path prefix).

@@ -1,0 +1,386 @@
+// Package hotcall implements the simlint transitive hot-path allocation
+// analyzer — the interprocedural complement of hotpath.
+//
+// hotpath polices the body of every //simlint:hotpath function, but a
+// hot function calling an UNANNOTATED helper that allocates passes it
+// silently: the helper's body is outside the annotated function, and
+// the dynamic AllocsPerRun gates only see the traffic they happen to
+// drive. hotcall closes that gap. For every function in the module it
+// computes a may-allocate summary —
+//
+//   - allocates: make/new, append onto storage that is not parameter-
+//     or receiver-rooted, &composite / slice / map literals, string
+//     concatenation, string<->[]byte/[]rune conversions, escaping
+//     closures, go statements;
+//   - boxes: a concrete value converted or passed into an interface;
+//   - calls fmt: any call into fmt, log, log/slog, or errors —
+//
+// and propagates it over the module's static call graph, exporting one
+// fact per function so importing packages' passes compose without
+// reanalysis. A //simlint:hotpath function whose static call edge
+// reaches a dirty summary is flagged at the call site.
+//
+// Two annotations cut propagation:
+//
+//	//simlint:hotpath — the callee is policed at its own annotation
+//	  (locally by hotpath, transitively by this pass), so edges into it
+//	  are trusted rather than re-flagged at every caller;
+//	//simlint:cold <reason> — the callee is deliberately off the
+//	  steady-state path (panic formatting, one-time setup). The reason
+//	  is mandatory: a bare //simlint:cold does not cut, and is itself
+//	  flagged.
+//
+// Soundness caveats (documented in DESIGN.md): dynamic call sites —
+// interface method dispatch and calls through func values — contribute
+// no edges, and standard-library callees outside the fmt/log/errors
+// denylist are assumed allocation-free (their bodies are not loaded).
+// The compiler-truth escape inventory (scripts/escapes.sh) backstops
+// both gaps.
+package hotcall
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analyzers/analysis"
+)
+
+// Analyzer is the hotcall pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotcall",
+	Doc: "functions annotated //simlint:hotpath must not call transitively " +
+		"allocating, boxing, or formatting callees unless annotated //simlint:cold with a reason",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*SummaryFact)(nil)},
+}
+
+// SummaryFact is the per-function allocation summary exported for
+// importing packages. Why names the first root cause for diagnostics.
+type SummaryFact struct {
+	Allocates bool
+	Boxes     bool
+	CallsFmt  bool
+	Why       string
+}
+
+// AFact marks SummaryFact as a fact type.
+func (*SummaryFact) AFact() {}
+
+func (s *SummaryFact) dirty() bool { return s.Allocates || s.Boxes || s.CallsFmt }
+
+// describe renders the summary's dominant hazard for a diagnostic.
+func (s *SummaryFact) describe() string {
+	switch {
+	case s.CallsFmt:
+		return "formats (" + s.Why + ")"
+	case s.Allocates:
+		return "may allocate (" + s.Why + ")"
+	case s.Boxes:
+		return "boxes into an interface (" + s.Why + ")"
+	}
+	return "is clean"
+}
+
+// fmtPackages is the stdlib denylist: calls into these packages mark
+// the caller as formatting (and therefore allocating).
+var fmtPackages = map[string]bool{
+	"fmt":      true,
+	"log":      true,
+	"log/slog": true,
+	"errors":   true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Module == nil {
+		return fmt.Errorf("hotcall requires the module driver (call graph + facts)")
+	}
+	graph := pass.Module.Graph
+
+	// Collect this package's declared functions in source order.
+	var fns []*types.Func
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func); fn != nil {
+				fns = append(fns, fn)
+				decls[fn] = fd
+			}
+		}
+	}
+
+	// Annotation census; a bare //simlint:cold is flagged and does not
+	// cut propagation.
+	hot := map[*types.Func]bool{}
+	cold := map[*types.Func]bool{}
+	for fn, fd := range decls {
+		if analysis.HasDirective(fd.Doc, "hotpath") {
+			hot[fn] = true
+		}
+		if reason, ok := analysis.DirectiveReason([]*ast.CommentGroup{fd.Doc}, "cold"); ok {
+			if reason == "" {
+				pass.Reportf(fd.Pos(), "//simlint:cold needs a reason; a bare annotation does not exempt %s", fn.Name())
+			} else {
+				cold[fn] = true
+			}
+		}
+	}
+
+	// Local summaries, then a fixed point over the package-internal
+	// edges (cross-package callees resolve through imported facts, which
+	// dependency-ordered processing has already produced).
+	summaries := map[*types.Func]*SummaryFact{}
+	for _, fn := range fns {
+		summaries[fn] = localSummary(pass, decls[fn])
+	}
+	calleeSummary := func(callee *types.Func) *SummaryFact {
+		if s, ok := summaries[callee]; ok {
+			return s
+		}
+		var imported SummaryFact
+		if pass.ImportObjectFact(callee, &imported) {
+			return &imported
+		}
+		if pkg := callee.Pkg(); pkg != nil && fmtPackages[pkg.Path()] {
+			return &SummaryFact{CallsFmt: true, Allocates: true,
+				Why: "calls " + pkg.Name() + "." + callee.Name()}
+		}
+		return nil // stdlib or unresolved: assumed clean (see caveats)
+	}
+	// cut reports whether propagation stops at callee: hot functions are
+	// policed at their own annotation, cold-with-reason ones are exempt.
+	cut := func(callee *types.Func) bool {
+		if cold[callee] || hot[callee] {
+			return true
+		}
+		if fd := graph.Decls[callee]; fd != nil {
+			if analysis.HasDirective(fd.Doc, "hotpath") {
+				return true
+			}
+			if reason, ok := analysis.DirectiveReason([]*ast.CommentGroup{fd.Doc}, "cold"); ok && reason != "" {
+				return true
+			}
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range fns {
+			s := summaries[fn]
+			for _, site := range graph.Sites[fn] {
+				if site.Callee == nil || site.Dynamic || cut(site.Callee) {
+					continue
+				}
+				cs := calleeSummary(site.Callee)
+				if cs == nil || !cs.dirty() {
+					continue
+				}
+				if (cs.Allocates && !s.Allocates) || (cs.Boxes && !s.Boxes) || (cs.CallsFmt && !s.CallsFmt) {
+					s.Allocates = s.Allocates || cs.Allocates
+					s.Boxes = s.Boxes || cs.Boxes
+					s.CallsFmt = s.CallsFmt || cs.CallsFmt
+					if s.Why == "" {
+						s.Why = "via " + site.Callee.Name() + ": " + cs.Why
+					}
+					changed = true
+				}
+			}
+		}
+	}
+	for _, fn := range fns {
+		s := summaries[fn]
+		if hot[fn] || cold[fn] {
+			// Cut points export clean summaries: callers trust them.
+			s = &SummaryFact{}
+		}
+		pass.ExportObjectFact(fn, s)
+	}
+
+	// Diagnostics: every static edge out of a hot function into a dirty,
+	// un-cut callee.
+	for _, fn := range fns {
+		if !hot[fn] {
+			continue
+		}
+		for _, site := range graph.Sites[fn] {
+			if site.Callee == nil || site.Dynamic || cut(site.Callee) {
+				continue
+			}
+			cs := calleeSummary(site.Callee)
+			if cs == nil || !cs.dirty() {
+				continue
+			}
+			pass.Reportf(site.Pos,
+				"hot path calls %s, which %s; annotate the callee //simlint:cold <reason> or make it allocation-free",
+				site.Callee.Name(), cs.describe())
+		}
+	}
+	return nil
+}
+
+// localSummary computes one function's own (non-transitive) summary.
+func localSummary(pass *analysis.Pass, fd *ast.FuncDecl) *SummaryFact {
+	s := &SummaryFact{}
+	if fd.Body == nil {
+		return s
+	}
+	rooted := analysis.ParamRooted(pass.TypesInfo, fd)
+	why := func(pos token.Pos, what string) string {
+		p := pass.Fset.Position(pos)
+		return fmt.Sprintf("%s at line %d", what, p.Line)
+	}
+	mark := func(pos token.Pos, what string, alloc, box, fmtCall bool) {
+		s.Allocates = s.Allocates || alloc
+		s.Boxes = s.Boxes || box
+		s.CallsFmt = s.CallsFmt || fmtCall
+		if s.Why == "" {
+			s.Why = why(pos, what)
+		}
+	}
+
+	analysis.WithParents(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			mark(x.Pos(), "go statement", true, false, false)
+		case *ast.FuncLit:
+			// Immediately invoked literals stay on the stack; anything
+			// else conservatively allocates its context.
+			if len(stack) > 0 {
+				if call, ok := stack[len(stack)-1].(*ast.CallExpr); ok && call.Fun == x {
+					return true
+				}
+			}
+			mark(x.Pos(), "closure", true, false, false)
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					mark(x.Pos(), "&composite literal", true, false, false)
+				}
+			}
+		case *ast.CompositeLit:
+			if t := pass.TypesInfo.Types[x].Type; t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					mark(x.Pos(), "slice/map literal", true, false, false)
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD {
+				if t := pass.TypesInfo.Types[x].Type; t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						mark(x.Pos(), "string concatenation", true, false, false)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			summarizeCall(pass, x, rooted, mark)
+		}
+		return true
+	})
+	return s
+}
+
+// summarizeCall classifies one call expression for the local summary:
+// allocating builtins, allocating conversions, fmt-family calls, and
+// concrete-into-interface argument boxing.
+func summarizeCall(pass *analysis.Pass, call *ast.CallExpr, rooted map[types.Object]bool,
+	mark func(token.Pos, string, bool, bool, bool)) {
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := analysis.ObjectOf(pass.TypesInfo, id).(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				mark(call.Pos(), b.Name(), true, false, false)
+			case "append":
+				if len(call.Args) > 0 {
+					root := analysis.RootIdent(call.Args[0])
+					if root == nil || !rooted[analysis.ObjectOf(pass.TypesInfo, root)] {
+						mark(call.Pos(), "append to non-parameter-rooted slice", true, false, false)
+					}
+				}
+			}
+			return
+		}
+	}
+
+	// Conversions: interface boxing and string<->byte-slice copies.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) != 1 {
+			return
+		}
+		target := tv.Type
+		if types.IsInterface(target) && isConcrete(pass, call.Args[0]) {
+			mark(call.Pos(), "conversion to "+target.String(), false, true, false)
+			return
+		}
+		at := pass.TypesInfo.Types[call.Args[0]].Type
+		if at == nil {
+			return
+		}
+		_, targetSlice := target.Underlying().(*types.Slice)
+		_, argSlice := at.Underlying().(*types.Slice)
+		targetStr := isString(target)
+		argStr := isString(at)
+		if (targetSlice && argStr) || (targetStr && argSlice) {
+			mark(call.Pos(), "string conversion", true, false, false)
+		}
+		return
+	}
+
+	// fmt-family package calls.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if base, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pass.TypesInfo.Uses[base].(*types.PkgName); ok && fmtPackages[pn.Imported().Path()] {
+				mark(call.Pos(), "calls "+pn.Imported().Name()+"."+sel.Sel.Name, true, false, true)
+				return
+			}
+		}
+	}
+
+	// Ordinary calls: concrete arguments landing in interface parameters.
+	sig, ok := pass.TypesInfo.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis == token.NoPos {
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			} else if i == params.Len()-1 {
+				pt = params.At(params.Len() - 1).Type()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt != nil && types.IsInterface(pt) && isConcrete(pass, arg) {
+			mark(arg.Pos(), "boxes argument into "+pt.String(), false, true, false)
+		}
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isConcrete reports whether expr has a concrete (non-interface,
+// non-nil) type.
+func isConcrete(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if basic, ok := tv.Type.(*types.Basic); ok && basic.Kind() == types.UntypedNil {
+		return false
+	}
+	return !types.IsInterface(tv.Type)
+}

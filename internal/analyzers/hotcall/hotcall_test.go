@@ -1,0 +1,19 @@
+package hotcall_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/hotcall"
+	"repro/internal/analyzers/hotpath"
+)
+
+import "repro/internal/analyzers/atest"
+
+// TestHotcall runs BOTH hotpath and hotcall over the fixture. The want
+// comments only expect hotcall findings, so the test simultaneously
+// proves the acceptance property: every seeded hot→allocating call is
+// accepted by the per-function hotpath pass (no unexpected hotpath
+// diagnostics) and caught by hotcall.
+func TestHotcall(t *testing.T) {
+	atest.Run(t, "testdata", "hotcalls", hotpath.Analyzer, hotcall.Analyzer)
+}

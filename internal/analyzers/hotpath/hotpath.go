@@ -60,7 +60,7 @@ func run(pass *analysis.Pass) error {
 
 // check applies the hot-path rules to one annotated function.
 func check(pass *analysis.Pass, fd *ast.FuncDecl) {
-	rooted := paramRooted(pass, fd)
+	rooted := analysis.ParamRooted(pass.TypesInfo, fd)
 	callOnly := localCallOnlyClosures(pass, fd.Body)
 
 	analysis.WithParents(fd.Body, func(n ast.Node, stack []ast.Node) bool {
@@ -93,66 +93,6 @@ func check(pass *analysis.Pass, fd *ast.FuncDecl) {
 	})
 }
 
-// paramRooted computes the set of objects rooted in the function's
-// receiver or parameters, propagated through local aliases in source
-// order (pool := &f.pool keeps pool parameter-rooted). A local bound to
-// the result of an append-style call — one whose FIRST argument is a
-// rooted slice, like buf := e.intraGroup(e.nonBufs[cur][:0], a, b) —
-// inherits rootedness too: by that calling convention the result aliases
-// the caller-provided buffer's storage.
-func paramRooted(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
-	rooted := map[types.Object]bool{}
-	addFields := func(fl *ast.FieldList) {
-		if fl == nil {
-			return
-		}
-		for _, f := range fl.List {
-			for _, name := range f.Names {
-				if obj := pass.TypesInfo.Defs[name]; obj != nil {
-					rooted[obj] = true
-				}
-			}
-		}
-	}
-	addFields(fd.Recv)
-	addFields(fd.Type.Params)
-
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		assign, ok := n.(*ast.AssignStmt)
-		if !ok || len(assign.Lhs) != len(assign.Rhs) {
-			return true
-		}
-		for i, lhs := range assign.Lhs {
-			id, ok := lhs.(*ast.Ident)
-			if !ok || id.Name == "_" {
-				continue
-			}
-			rhs := assign.Rhs[i]
-			if call, ok := rhs.(*ast.CallExpr); ok && len(call.Args) > 0 {
-				// Append-style: f(buf, ...) returns storage rooted where
-				// buf is.
-				rhs = call.Args[0]
-			}
-			root := analysis.RootIdent(rhs)
-			if root == nil {
-				continue
-			}
-			robj := pass.TypesInfo.Uses[root]
-			if robj == nil {
-				robj = pass.TypesInfo.Defs[root]
-			}
-			if robj == nil || !rooted[robj] {
-				continue
-			}
-			if obj := objectOf(pass, id); obj != nil {
-				rooted[obj] = true
-			}
-		}
-		return true
-	})
-	return rooted
-}
-
 // localCallOnlyClosures finds func literals bound to a local variable
 // whose every other use is a direct call — the pattern the compiler
 // keeps off the heap.
@@ -173,7 +113,7 @@ func localCallOnlyClosures(pass *analysis.Pass, body *ast.BlockStmt) map[*ast.Fu
 			if !ok {
 				continue
 			}
-			if obj := objectOf(pass, id); obj != nil {
+			if obj := analysis.ObjectOf(pass.TypesInfo, id); obj != nil {
 				bound[obj] = lit
 			}
 		}
@@ -253,7 +193,7 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr, rooted map[types.Object]
 
 	// Builtins.
 	if id, ok := call.Fun.(*ast.Ident); ok {
-		if b, ok := objectOf(pass, id).(*types.Builtin); ok {
+		if b, ok := analysis.ObjectOf(pass.TypesInfo, id).(*types.Builtin); ok {
 			if b.Name() == "append" && len(call.Args) > 0 {
 				checkAppend(pass, call, rooted)
 			}
@@ -306,7 +246,7 @@ func checkAppend(pass *analysis.Pass, call *ast.CallExpr, rooted map[types.Objec
 		pass.Reportf(call.Pos(), "append onto a non-parameter slice; hot-path appends must target preallocated parameter- or receiver-rooted storage")
 		return
 	}
-	obj := objectOf(pass, root)
+	obj := analysis.ObjectOf(pass.TypesInfo, root)
 	if obj == nil || !rooted[obj] {
 		pass.Reportf(call.Pos(),
 			"append onto %s, which is not parameter- or receiver-rooted; hot-path appends must target preallocated storage", root.Name)
@@ -383,11 +323,4 @@ func isConcrete(pass *analysis.Pass, expr ast.Expr) bool {
 		return false
 	}
 	return !types.IsInterface(tv.Type)
-}
-
-func objectOf(pass *analysis.Pass, id *ast.Ident) types.Object {
-	if obj := pass.TypesInfo.Uses[id]; obj != nil {
-		return obj
-	}
-	return pass.TypesInfo.Defs[id]
 }

@@ -1,0 +1,12 @@
+package sharecheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/atest"
+	"repro/internal/analyzers/sharecheck"
+)
+
+func TestSharecheck(t *testing.T) {
+	atest.Run(t, "testdata", "share", sharecheck.Analyzer)
+}

@@ -1,0 +1,15 @@
+// Package core is a fixture stand-in for the module's internal/core:
+// sharecheck matches the Machine named type by package-path suffix, so
+// this fake exercises the same detection as the real package.
+package core
+
+// Machine is the single-owner simulation state sharecheck protects.
+type Machine struct {
+	Cycles int
+}
+
+// NewMachine mirrors the real constructor.
+func NewMachine() *Machine { return &Machine{} }
+
+// Run mirrors a mutating method.
+func (m *Machine) Run() { m.Cycles++ }

@@ -1,0 +1,21 @@
+// Package parallel is a fixture stand-in for the module's parallel
+// runner: sharecheck recognizes its entry points by package-path suffix
+// and name, and treats their func-literal arguments as worker closures.
+package parallel
+
+// Map mirrors the runner's signature: fn runs on worker goroutines.
+func Map(workers, n int, fn func(worker, index int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(i%workers, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForEach mirrors the error-free variant.
+func ForEach(workers, n int, fn func(worker, index int)) {
+	for i := 0; i < n; i++ {
+		fn(i%workers, i)
+	}
+}

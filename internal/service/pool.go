@@ -179,7 +179,7 @@ func (p *MachinePool) Stats() PoolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	idle := 0
-	for _, free := range p.free { //simlint:allow detrand order-insensitive sum
+	for _, free := range p.free { //simlint:allow detflow order-insensitive sum
 		idle += len(free)
 	}
 	return PoolStats{
@@ -204,6 +204,8 @@ func (p *MachinePool) Reset() {
 // buildMachine constructs a fresh machine for a pool key (a validated
 // topology name — DecodeRequest only admits names in the topologies
 // table).
+//
+//simlint:cold pool-miss construction path; fabric build dominates any formatting
 func buildMachine(key string) (*core.Machine, error) {
 	cfgFn, ok := topologies[key]
 	if !ok {

@@ -76,3 +76,40 @@ type recordingHandler struct{ order *[]int }
 func (h *recordingHandler) HandleEvent(kind uint8, a, b int64) {
 	*h.order = append(*h.order, int(a))
 }
+
+// TestSignalFireAllocFree pins Signal.Fire at zero allocations per fire
+// in steady state. Fire runs on the fabric's packet-delivery hot path
+// (every completed message fires its Done signal), and before proc
+// resume closures were hoisted to spawn time it allocated one closure
+// per waiter per fire — an interprocedural leak the per-function hotpath
+// gate could not see (simlint's hotcall analyzer caught it). Signals are
+// one-shot, so the test prepares one signal with parked waiters per
+// AllocsPerRun round rather than reusing one.
+func TestSignalFireAllocFree(t *testing.T) {
+	k := NewKernel()
+	const waiters = 8
+	const rounds = 50
+	// rounds+1: AllocsPerRun calls the body once for warmup (which also
+	// grows the same-timestamp band to its working size) before measuring.
+	sigs := make([]*Signal, rounds+1)
+	for i := range sigs {
+		s := NewSignal()
+		sigs[i] = s
+		for j := 0; j < waiters; j++ {
+			k.Spawn(func(p *Proc) { p.Wait(s) })
+		}
+	}
+	k.Run() // park every waiter on its signal
+
+	next := 0
+	allocs := testing.AllocsPerRun(rounds, func() {
+		s := sigs[next]
+		next++
+		s.Fire(k)
+		k.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("Signal.Fire allocated %.2f times per fire with %d waiters, want 0",
+			allocs, waiters)
+	}
+}

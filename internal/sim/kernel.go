@@ -236,11 +236,15 @@ func (k *Kernel) Pending() int { return len(k.events) + k.band.len() }
 
 // panicPast reports scheduling before the current time. Outlined from the
 // schedulers so the hot typed-event path stays free of fmt in its body.
+//
+//simlint:cold panic formatting on a model-bug path that never returns
 func (k *Kernel) panicPast(t Time) {
 	panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 }
 
 // panicPayload reports a typed-event scalar outside the packable range.
+//
+//simlint:cold panic formatting on a model-bug path that never returns
 func panicPayload(a, b int64) {
 	panic(fmt.Sprintf("sim: typed-event payload (%d, %d) outside [0, 2^%d)", a, b, payloadBits))
 }

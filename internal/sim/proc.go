@@ -8,7 +8,13 @@ package sim
 type Proc struct {
 	k      *Kernel
 	resume chan struct{}
-	done   bool
+	// resumeFn is the one closure that hands control to this proc,
+	// allocated once at spawn. Everything that schedules a resume —
+	// SpawnAt, Sleep, Signal.Fire — reuses it, so waking a proc never
+	// allocates: Signal.Fire sits on the fabric's packet-delivery hot
+	// path, where a per-waiter closure would be a heap hit per message.
+	resumeFn func()
+	done     bool
 }
 
 // Kernel returns the kernel this proc runs on.
@@ -30,6 +36,7 @@ func (k *Kernel) Spawn(fn func(p *Proc)) *Proc {
 // SpawnAt starts fn as a new proc at absolute virtual time t.
 func (k *Kernel) SpawnAt(t Time, fn func(p *Proc)) *Proc {
 	p := &Proc{k: k, resume: make(chan struct{})}
+	p.resumeFn = func() { k.switchTo(p) }
 	k.nProcs++
 	k.stats.ProcsSpawned++
 	//simlint:allow detrand coroutine handoff: exactly one of (kernel, proc) runs at a time, order fixed by the event queue
@@ -40,7 +47,7 @@ func (k *Kernel) SpawnAt(t Time, fn func(p *Proc)) *Proc {
 		k.nProcs--
 		k.parked <- struct{}{} // final handback; never resumed again
 	}()
-	k.At(t, func() { k.switchTo(p) })
+	k.At(t, p.resumeFn)
 	return p
 }
 
@@ -66,7 +73,7 @@ func (p *Proc) Sleep(d Time) {
 		// queue so same-time events scheduled earlier run first.
 		d = 0
 	}
-	p.k.After(d, func() { p.k.switchTo(p) })
+	p.k.After(d, p.resumeFn)
 	p.park()
 }
 
@@ -105,15 +112,18 @@ func NewSignal() *Signal { return &Signal{} }
 func (s *Signal) Fired() bool { return s.fired }
 
 // Fire marks the signal fired and schedules every waiter to resume at the
-// current virtual time. Firing an already-fired signal is a no-op.
+// current virtual time. Firing an already-fired signal is a no-op. Fire is
+// allocation-free: each waiter is scheduled via its spawn-time resumeFn,
+// so firing from the packet-delivery hot path never touches the heap.
+//
+//simlint:hotpath
 func (s *Signal) Fire(k *Kernel) {
 	if s.fired {
 		return
 	}
 	s.fired = true
 	for _, w := range s.waiters {
-		w := w
-		k.At(k.now, func() { k.switchTo(w) })
+		k.At(k.now, w.resumeFn)
 	}
 	s.waiters = nil
 }

@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
 # lint.sh — the exact static checks CI's lint job runs, for local use.
 #
-# Three gates, same flags as .github/workflows/ci.yml:
+# Four gates, same flags as .github/workflows/ci.yml:
 #   1. gofmt -l   — no unformatted files (the simlint directive comments
 #                   are gofmt-stable; drift here usually means a hand
 #                   edit skipped gofmt)
 #   2. go vet     — the stock toolchain analyzers
-#   3. simlint    — the repo's own analyzers (detrand, resetcheck,
-#                   hotpath); see internal/analyzers and DESIGN.md
-#                   "Static invariants"
+#   3. simlint    — the repo's own analyzer suite (detrand, resetcheck,
+#                   hotpath, hotcall, detflow, sharecheck); see
+#                   internal/analyzers and DESIGN.md "Static invariants".
+#                   Built once and run as a binary — the module driver
+#                   loads the whole tree in one pass, so one process
+#                   covers every package.
+#   4. escapes    — compiler-truth escape-analysis golden for the hot
+#                   packages (scripts/escapes.sh)
 #
 # Usage: scripts/lint.sh
 set -euo pipefail
@@ -26,6 +31,12 @@ echo "== go vet ==" >&2
 go vet ./...
 
 echo "== simlint ==" >&2
-go run ./cmd/simlint ./...
+simlint_dir=$(mktemp -d)
+trap 'rm -rf "$simlint_dir"' EXIT
+go build -o "$simlint_dir/simlint" ./cmd/simlint
+"$simlint_dir/simlint" ./...
+
+echo "== escape golden ==" >&2
+scripts/escapes.sh
 
 echo "lint clean" >&2
